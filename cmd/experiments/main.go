@@ -1,0 +1,133 @@
+// Command experiments regenerates the figures of the paper's evaluation
+// (Section 7). Each figure prints as an aligned text table with the error
+// summaries the paper quotes. Running with -fig all reproduces the whole
+// campaign; EXPERIMENTS.md records paper-vs-measured for each figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smpigo/internal/core"
+	"smpigo/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,11,12,15,16,17,18 or all")
+	fast := flag.Bool("fast", false, "reduce payloads for quicker (shape-preserving) runs")
+	flag.Parse()
+	if err := run(*fig, *fast); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figArg string, fast bool) error {
+	env, err := experiments.NewEnv()
+	if err != nil {
+		return err
+	}
+	dtPayload := 0 // class defaults
+	epM := 22
+	figScale := 1.0
+	if fast {
+		dtPayload = 512 * 1024
+		epM = 19
+		figScale = 1.0 / 16
+	}
+
+	type figure struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	figures := []figure{
+		{"3", func() (*experiments.Table, error) { r, err := experiments.Figure3(env); return tbl(r, err) }},
+		{"4", func() (*experiments.Table, error) { r, err := experiments.Figure4(env); return tbl(r, err) }},
+		{"5", func() (*experiments.Table, error) { r, err := experiments.Figure5(env); return tbl(r, err) }},
+		{"7", func() (*experiments.Table, error) { r, err := experiments.Figure7(env); return tblP(r, err) }},
+		{"8", func() (*experiments.Table, error) { r, err := experiments.Figure8(env); return tblS(r, err) }},
+		{"9", func() (*experiments.Table, error) { r, err := experiments.Figure9(env); return tblS(r, err) }},
+		{"11", func() (*experiments.Table, error) { r, err := experiments.Figure11(env); return tblP(r, err) }},
+		{"12", func() (*experiments.Table, error) { r, err := experiments.Figure12(env); return tblS(r, err) }},
+		{"15", func() (*experiments.Table, error) {
+			r, err := experiments.Figure15(env, dtPayload)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"16", func() (*experiments.Table, error) {
+			r, err := experiments.Figure16(env, figScale, 2*float64(core.GiB))
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"17", func() (*experiments.Table, error) {
+			r, err := experiments.Figure17(env)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"18", func() (*experiments.Table, error) {
+			r, err := experiments.Figure18(env, epM, 64)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+	}
+
+	want := strings.Split(figArg, ",")
+	match := func(id string) bool {
+		if figArg == "all" {
+			return true
+		}
+		for _, w := range want {
+			if strings.TrimSpace(w) == id {
+				return true
+			}
+		}
+		return false
+	}
+	ran := 0
+	for _, f := range figures {
+		if !match(f.id) {
+			continue
+		}
+		t, err := f.run()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", f.id, err)
+		}
+		fmt.Println(t.String())
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no figure matches %q", figArg)
+	}
+	return nil
+}
+
+func tbl(r *experiments.PingPongResult, err error) (*experiments.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.Table, nil
+}
+
+func tblP(r *experiments.PerRankResult, err error) (*experiments.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.Table, nil
+}
+
+func tblS(r *experiments.SweepResult, err error) (*experiments.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.Table, nil
+}

@@ -1,0 +1,83 @@
+// Command platformgen emits cluster platform descriptions in the
+// repository's SimGrid-style XML dialect, either the paper's presets
+// (griffon, gdx) or a custom homogeneous cluster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"smpigo/internal/core"
+	"smpigo/internal/platform"
+)
+
+func main() {
+	var (
+		preset   = flag.String("cluster", "griffon", "preset: griffon, gdx, or custom")
+		out      = flag.String("o", "-", "output file (- for stdout)")
+		cabinets = flag.String("cabinets", "16,16", "custom: nodes per cabinet, comma separated")
+		speed    = flag.String("speed", "1Gf", "custom: node speed")
+		bw       = flag.String("bw", "1Gbps", "custom: node link bandwidth")
+		lat      = flag.String("lat", "20us", "custom: node link latency")
+	)
+	flag.Parse()
+	if err := run(*preset, *out, *cabinets, *speed, *bw, *lat); err != nil {
+		fmt.Fprintln(os.Stderr, "platformgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset, out, cabinets, speed, bw, lat string) error {
+	var spec platform.ClusterSpec
+	switch preset {
+	case "griffon":
+		spec = platform.Griffon()
+	case "gdx":
+		spec = platform.Gdx()
+	case "custom":
+		var err error
+		spec, err = customSpec(cabinets, speed, bw, lat)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown preset %q", preset)
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return platform.WriteXML(w, spec)
+}
+
+func customSpec(cabinets, speed, bw, lat string) (platform.ClusterSpec, error) {
+	spec := platform.Griffon() // sensible switch/backbone defaults
+	spec.Name = "custom"
+	spec.Cabinets = nil
+	for _, part := range strings.Split(cabinets, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return spec, fmt.Errorf("cabinets: %w", err)
+		}
+		spec.Cabinets = append(spec.Cabinets, n)
+	}
+	var err error
+	if spec.NodeSpeed, err = core.ParseFlops(speed); err != nil {
+		return spec, err
+	}
+	if spec.NodeLinkBandwidth, err = core.ParseRate(bw); err != nil {
+		return spec, err
+	}
+	if spec.NodeLinkLatency, err = core.ParseDuration(lat); err != nil {
+		return spec, err
+	}
+	return spec, spec.Validate()
+}

@@ -1,0 +1,232 @@
+// Command smpirun runs a built-in MPI application in simulation, the
+// counterpart of SMPI's smpirun launcher: it picks a target platform, a
+// backend (analytical SMPI model or packet-level testbed emulation), a
+// point-to-point model, and prints the predicted execution time and the
+// simulation statistics.
+//
+// Examples:
+//
+//	smpirun -app pingpong -np 2 -platform griffon -model piecewise
+//	smpirun -app scatter -np 16 -chunk 4MiB -backend emu
+//	smpirun -app dt -graph BH -class A
+//	smpirun -app ep -np 4 -ratio 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smpigo/internal/core"
+	"smpigo/internal/experiments"
+	"smpigo/internal/nas"
+	"smpigo/internal/platform"
+	"smpigo/internal/replay"
+	"smpigo/internal/smpi"
+	"smpigo/internal/surf"
+	"smpigo/internal/trace"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "pingpong", "application: pingpong, ring, scatter, alltoall, dt, ep")
+		np        = flag.Int("np", 2, "number of MPI processes (ignored by dt, which sets it from -class)")
+		platName  = flag.String("platform", "griffon", "target platform: griffon, gdx, or a platform XML file")
+		backend   = flag.String("backend", "surf", "timing backend: surf (analytical SMPI) or emu (packet-level testbed)")
+		modelName = flag.String("model", "piecewise", "surf model: ideal, default, bestfit, piecewise")
+		noCont    = flag.Bool("no-contention", false, "disable link contention (surf backend)")
+		chunk     = flag.String("chunk", "4MiB", "per-rank payload for scatter/alltoall/pingpong")
+		graph     = flag.String("graph", "WH", "DT graph: WH, BH, SH")
+		class     = flag.String("class", "S", "NPB class: S, W, A, B, C")
+		ratio     = flag.Float64("ratio", 1.0, "EP sampling ratio (0,1]")
+		fold      = flag.Bool("fold", false, "DT: use RAM folding (SMPI_SHARED_MALLOC)")
+		traceOut  = flag.String("trace", "", "record a point-to-point trace to this file (off-line simulation input)")
+		replayIn  = flag.String("replay", "", "replay a recorded trace instead of running an app")
+	)
+	flag.Parse()
+	if err := run(*appName, *np, *platName, *backend, *modelName, *noCont, *chunk, *graph, *class, *ratio, *fold, *traceOut, *replayIn); err != nil {
+		fmt.Fprintln(os.Stderr, "smpirun:", err)
+		os.Exit(1)
+	}
+}
+
+func loadPlatform(name string) (*platform.Platform, error) {
+	switch name {
+	case "griffon":
+		return platform.Griffon().Build()
+	case "gdx":
+		return platform.Gdx().Build()
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	specs, err := platform.ReadXML(f)
+	if err != nil {
+		return nil, err
+	}
+	return specs[0].Build()
+}
+
+func pickModel(name string) (surf.NetModel, error) {
+	if name == "ideal" {
+		return surf.Ideal(), nil
+	}
+	env, err := experiments.NewEnv()
+	if err != nil {
+		return surf.NetModel{}, fmt.Errorf("calibration: %w", err)
+	}
+	switch name {
+	case "default":
+		return env.Default, nil
+	case "bestfit":
+		return env.BestFit, nil
+	case "piecewise":
+		return env.Piecewise, nil
+	}
+	return surf.NetModel{}, fmt.Errorf("unknown model %q", name)
+}
+
+func run(appName string, np int, platName, backend, modelName string, noCont bool,
+	chunkStr, graph, class string, ratio float64, fold bool, traceOut, replayIn string) error {
+	plat, err := loadPlatform(platName)
+	if err != nil {
+		return err
+	}
+	cfg := smpi.Config{Procs: np, Platform: plat, NoContention: noCont}
+	switch backend {
+	case "surf":
+		cfg.Backend = smpi.BackendSurf
+		if cfg.Model, err = pickModel(modelName); err != nil {
+			return err
+		}
+	case "emu":
+		cfg.Backend = smpi.BackendEmu
+	default:
+		return fmt.Errorf("unknown backend %q", backend)
+	}
+	chunk, err := core.ParseBytes(chunkStr)
+	if err != nil {
+		return err
+	}
+
+	var app func(*smpi.Rank)
+	switch appName {
+	case "pingpong":
+		cfg.Procs = 2
+		app = func(r *smpi.Rank) {
+			c := r.Comm()
+			buf := make([]byte, chunk)
+			if r.Rank() == 0 {
+				r.Send(c, buf, 1, 0)
+				r.Recv(c, buf, 1, 0)
+			} else {
+				r.Recv(c, buf, 0, 0)
+				r.Send(c, buf, 0, 0)
+			}
+		}
+	case "ring":
+		app = func(r *smpi.Rank) {
+			c := r.Comm()
+			buf := make([]byte, chunk)
+			next := (r.Rank() + 1) % r.Size()
+			prev := (r.Rank() - 1 + r.Size()) % r.Size()
+			if r.Rank() == 0 {
+				r.Send(c, buf, next, 0)
+				r.Recv(c, buf, prev, 0)
+			} else {
+				r.Recv(c, buf, prev, 0)
+				r.Send(c, buf, next, 0)
+			}
+		}
+	case "scatter":
+		app = func(r *smpi.Rank) {
+			c := r.Comm()
+			var sendbuf []byte
+			if r.Rank() == 0 {
+				sendbuf = make([]byte, int64(r.Size())*chunk)
+			}
+			recvbuf := make([]byte, chunk)
+			c.Barrier(r)
+			c.Scatter(r, sendbuf, recvbuf, 0)
+		}
+	case "alltoall":
+		app = func(r *smpi.Rank) {
+			c := r.Comm()
+			sendbuf := make([]byte, int64(r.Size())*chunk)
+			recvbuf := make([]byte, int64(r.Size())*chunk)
+			c.Barrier(r)
+			c.Alltoall(r, sendbuf, recvbuf)
+		}
+	case "dt":
+		dcfg := nas.DTConfig{Graph: nas.DTGraph(graph), Class: nas.DTClass(class[0]), Fold: fold}
+		procs, err := nas.DTProcs(dcfg.Graph, dcfg.Class)
+		if err != nil {
+			return err
+		}
+		cfg.Procs = procs
+		app, _ = nas.DT(dcfg)
+	case "ep":
+		a, _ := nas.EP(nas.EPConfig{M: 20, Iterations: 64, SampleRatio: ratio})
+		app = a
+	default:
+		return fmt.Errorf("unknown app %q", appName)
+	}
+
+	if replayIn != "" {
+		f, err := os.Open(replayIn)
+		if err != nil {
+			return err
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		rep, err := replay.Run(tr, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replayed trace     : %s (np=%d, %d events) on %s [%s backend]\n",
+			replayIn, tr.Procs, tr.Events(), plat.Name, backend)
+		fmt.Printf("simulated time     : %v\n", rep.SimulatedTime)
+		fmt.Printf("simulation wall    : %v\n", rep.WallTime)
+		return nil
+	}
+	var rec *trace.Trace
+	if traceOut != "" {
+		rec = trace.New(cfg.Procs)
+		cfg.Tracer = rec
+	}
+
+	rep, err := smpi.Run(cfg, app)
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written      : %s (%d events)\n", traceOut, rec.Events())
+	}
+	fmt.Printf("application        : %s (np=%d) on %s [%s backend]\n", appName, cfg.Procs, plat.Name, backend)
+	fmt.Printf("simulated time     : %v\n", rep.SimulatedTime)
+	fmt.Printf("simulation wall    : %v\n", rep.WallTime)
+	fmt.Printf("messages / bytes   : %d / %s\n", rep.Messages, core.FormatBytes(rep.BytesOnWire))
+	if rep.MaxPeakRSS > 0 {
+		fmt.Printf("max RSS per rank   : %.1f MiB\n", rep.MaxPeakRSS/float64(core.MiB))
+	}
+	if rep.BurstsExecuted+rep.BurstsReplayed > 0 {
+		fmt.Printf("bursts exec/replay : %d / %d\n", rep.BurstsExecuted, rep.BurstsReplayed)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+// NAS DT: the paper's Section 7.1.4/7.2 workload. Runs the Data Traffic
+// benchmark's White Hole and Black Hole graphs for class A (21 processes),
+// predicting execution times on griffon with SMPI, and demonstrates RAM
+// folding: the same class simulated with and without SMPI_SHARED_MALLOC,
+// comparing the per-rank memory footprint (the paper's Figure 16 effect).
+//
+// Run with: go run ./examples/nasdt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smpigo/internal/core"
+	"smpigo/internal/experiments"
+	"smpigo/internal/nas"
+	"smpigo/internal/smpi"
+)
+
+func main() {
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(graph nas.DTGraph, fold bool) *smpi.Report {
+		cfg := nas.DTConfig{Graph: graph, Class: nas.ClassA, Fold: fold}
+		procs, err := nas.DTProcs(graph, nas.ClassA)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app, res := nas.DT(cfg)
+		rep, err := smpi.Run(smpi.Config{
+			Procs:    procs,
+			Platform: env.Griffon,
+			Model:    env.Piecewise,
+		}, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("DT %s class A (%d ranks, fold=%-5v): simulated %8v, RSS/rank %6.1f MiB, checksum %016x\n",
+			graph, procs, fold, rep.SimulatedTime, rep.MaxPeakRSS/float64(core.MiB), res.Checksum)
+		return rep
+	}
+
+	fmt.Println("NAS DT on simulated griffon (SMPI piece-wise model):")
+	wh := run(nas.WH, false)
+	bh := run(nas.BH, false)
+	fmt.Printf("=> BH/WH ratio: %.2f (the paper's Figure 15 shows BH slower than WH)\n\n",
+		float64(bh.SimulatedTime)/float64(wh.SimulatedTime))
+
+	fmt.Println("RAM folding (Figure 16 effect):")
+	plain := run(nas.WH, false)
+	folded := run(nas.WH, true)
+	fmt.Printf("=> folding cuts the per-rank footprint by %.1fx\n",
+		plain.MaxPeakRSS/folded.MaxPeakRSS)
+}

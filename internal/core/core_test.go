@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0s"},
+		{1.5, "1.5s"},
+		{0.002, "2ms"},
+		{25e-6, "25µs"},
+		{TimeForever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeMicros(t *testing.T) {
+	if got := Time(0.0025).Micros(); math.Abs(got-2500) > 1e-9 {
+		t.Errorf("Micros() = %v, want 2500", got)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1024, "1KiB"},
+		{64 * KiB, "64KiB"},
+		{4 * MiB, "4MiB"},
+		{3 * GiB, "3GiB"},
+		{1500, "1500B"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	if got := FormatRate(125e6); got != "1Gbps" {
+		t.Errorf("FormatRate(125e6) = %q, want 1Gbps", got)
+	}
+	if got := FormatRate(1.25e9); got != "10Gbps" {
+		t.Errorf("FormatRate(1.25e9) = %q, want 10Gbps", got)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"1500", 1500},
+		{"1500B", 1500},
+		{"64KiB", 64 * KiB},
+		{"4MiB", 4 * MiB},
+		{"1GiB", GiB},
+		{"1kB", 1000},
+		{"2MB", 2000000},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Fatalf("ParseBytes(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseBytes("12xyz"); err == nil {
+		t.Error("ParseBytes(12xyz) should fail")
+	}
+	if _, err := ParseBytes(""); err == nil {
+		t.Error("ParseBytes(empty) should fail")
+	}
+}
+
+func TestParseRate(t *testing.T) {
+	got, err := ParseRate("1Gbps")
+	if err != nil || math.Abs(got-125e6) > 1e-6 {
+		t.Errorf("ParseRate(1Gbps) = %v, %v; want 125e6", got, err)
+	}
+	got, err = ParseRate("10Gbps")
+	if err != nil || math.Abs(got-1.25e9) > 1e-3 {
+		t.Errorf("ParseRate(10Gbps) = %v, %v; want 1.25e9", got, err)
+	}
+	got, err = ParseRate("125MBps")
+	if err != nil || math.Abs(got-125e6) > 1e-6 {
+		t.Errorf("ParseRate(125MBps) = %v, %v; want 125e6", got, err)
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Duration
+	}{
+		{"25us", 25e-6},
+		{"1.5ms", 1.5e-3},
+		{"2s", 2},
+		{"100ns", 100e-9},
+		{"0.5", 0.5},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if err != nil {
+			t.Fatalf("ParseDuration(%q): %v", c.in, err)
+		}
+		if math.Abs(float64(got-c.want)) > 1e-15 {
+			t.Errorf("ParseDuration(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFlops(t *testing.T) {
+	got, err := ParseFlops("2.5Gf")
+	if err != nil || got != 2.5e9 {
+		t.Errorf("ParseFlops(2.5Gf) = %v, %v; want 2.5e9", got, err)
+	}
+	got, err = ParseFlops("2e6f")
+	if err != nil || got != 2e6 {
+		t.Errorf("ParseFlops(2e6f) = %v, %v; want 2e6", got, err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(9)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for i, c := range counts {
+		if c < 700 {
+			t.Errorf("bucket %d severely under-represented: %d", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.3 {
+		t.Errorf("variance = %v, want ~4", variance)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(5)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Error("split streams should differ")
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	q.Push(3, "c")
+	q.Push(1, "a")
+	q.Push(2, "b")
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		e := q.Pop()
+		if e == nil || e.Payload.(string) != w {
+			t.Fatalf("pop order wrong, want %q got %v", w, e)
+		}
+	}
+	if q.Pop() != nil {
+		t.Error("empty queue should pop nil")
+	}
+}
+
+func TestEventQueueFIFOTies(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 10; i++ {
+		q.Push(1, i)
+	}
+	for i := 0; i < 10; i++ {
+		if got := q.Pop().Payload.(int); got != i {
+			t.Fatalf("tie-break not FIFO: got %d want %d", got, i)
+		}
+	}
+}
+
+func TestEventQueueRemove(t *testing.T) {
+	var q EventQueue
+	a := q.Push(1, "a")
+	b := q.Push(2, "b")
+	c := q.Push(3, "c")
+	if !q.Remove(b) {
+		t.Fatal("Remove(b) should succeed")
+	}
+	if q.Remove(b) {
+		t.Fatal("double Remove should report false")
+	}
+	if e := q.Pop(); e != a {
+		t.Fatalf("want a, got %v", e.Payload)
+	}
+	if e := q.Pop(); e != c {
+		t.Fatalf("want c, got %v", e.Payload)
+	}
+	if q.Remove(nil) {
+		t.Error("Remove(nil) should be a no-op")
+	}
+}
+
+func TestEventQueuePeek(t *testing.T) {
+	var q EventQueue
+	if q.Peek() != nil {
+		t.Error("peek on empty should be nil")
+	}
+	q.Push(5, "x")
+	q.Push(4, "y")
+	if q.Peek().Payload.(string) != "y" {
+		t.Error("peek should return earliest")
+	}
+	if q.Len() != 2 {
+		t.Error("peek must not consume")
+	}
+}
+
+// Property: popping a randomly-filled queue yields dates in non-decreasing
+// order, with and without interleaved removals.
+func TestEventQueueHeapProperty(t *testing.T) {
+	f := func(dates []uint16, removeMask []bool) bool {
+		var q EventQueue
+		var handles []*Event
+		for _, d := range dates {
+			handles = append(handles, q.Push(Time(d), int(d)))
+		}
+		for i, h := range handles {
+			if i < len(removeMask) && removeMask[i] {
+				q.Remove(h)
+			}
+		}
+		last := Time(-1)
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.At < last {
+				return false
+			}
+			last = e.At
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

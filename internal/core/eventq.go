@@ -1,0 +1,120 @@
+package core
+
+// Event is an entry in an EventQueue: an opaque payload scheduled at a
+// simulated date. Ties are broken by insertion order so that simulations are
+// deterministic regardless of heap internals.
+type Event struct {
+	At      Time
+	Payload any
+
+	seq   uint64
+	index int
+}
+
+// EventQueue is a binary min-heap of events ordered by date then insertion
+// sequence. The zero value is ready to use. It supports O(log n) push/pop
+// and O(log n) removal of an arbitrary event (needed when, e.g., a packet
+// transmission is preempted).
+type EventQueue struct {
+	items []*Event
+	seq   uint64
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.items) }
+
+// Push schedules payload at date at and returns the event handle, which can
+// later be passed to Remove.
+func (q *EventQueue) Push(at Time, payload any) *Event {
+	e := &Event{At: at, Payload: payload, seq: q.seq}
+	q.seq++
+	e.index = len(q.items)
+	q.items = append(q.items, e)
+	q.up(e.index)
+	return e
+}
+
+// Peek returns the earliest event without removing it, or nil if empty.
+func (q *EventQueue) Peek() *Event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// Pop removes and returns the earliest event, or nil if empty.
+func (q *EventQueue) Pop() *Event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	top := q.items[0]
+	q.removeAt(0)
+	return top
+}
+
+// Remove deletes e from the queue. It reports whether the event was still
+// pending. Removing an already-popped event is a no-op.
+func (q *EventQueue) Remove(e *Event) bool {
+	if e == nil || e.index < 0 || e.index >= len(q.items) || q.items[e.index] != e {
+		return false
+	}
+	q.removeAt(e.index)
+	return true
+}
+
+func (q *EventQueue) removeAt(i int) {
+	last := len(q.items) - 1
+	q.items[i].index = -1
+	if i != last {
+		q.items[i] = q.items[last]
+		q.items[i].index = i
+	}
+	q.items = q.items[:last]
+	if i < len(q.items) {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+func (q *EventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *EventQueue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *EventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *EventQueue) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.items) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q.items) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

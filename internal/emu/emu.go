@@ -1,0 +1,295 @@
+// Package emu is the packet-level testbed emulator that stands in for the
+// real Grid'5000 clusters and MPI implementations of the paper's evaluation
+// (griffon/gdx running OpenMPI and MPICH2). Reproducing the paper requires
+// a ground truth to compare SMPI's analytical predictions against; since no
+// physical cluster is available, this package provides a discrete-event,
+// store-and-forward network simulator with the mechanisms that give real
+// TCP/Ethernet MPI platforms their characteristic non-affine behaviour:
+//
+//   - MTU framing with per-frame header/interframe overhead;
+//   - per-port FIFO serialization at every hop (genuine contention);
+//   - a slow-start-like window ramp that penalizes medium-size messages;
+//   - the eager/rendezvous protocol switch at 64 KiB, with buffered-copy
+//     costs in eager mode and an RTS/CTS round-trip in rendezvous mode;
+//   - per-message software overheads at sender and receiver.
+//
+// Distinct parameter sets emulate OpenMPI and MPICH2, which the paper's
+// Figures 7 and 9 compare against each other and against SMPI.
+//
+// The emulator plugs into the same simix kernel as the analytical model, so
+// the same application code runs unmodified on either backend — the paper's
+// "on-line" property holds for both.
+package emu
+
+import (
+	"math/bits"
+
+	"smpigo/internal/core"
+	"smpigo/internal/platform"
+	"smpigo/internal/simix"
+)
+
+// MPIImpl is the parameter set of an emulated MPI implementation on an
+// emulated TCP/Ethernet interconnect.
+type MPIImpl struct {
+	// Name labels the implementation ("OpenMPI", "MPICH2").
+	Name string
+	// EagerThreshold is the message size (bytes) at which the
+	// implementation switches from eager (buffered) to rendezvous mode.
+	EagerThreshold int64
+	// SendOverhead and RecvOverhead are per-message software costs.
+	SendOverhead core.Duration
+	RecvOverhead core.Duration
+	// CopyBandwidth is the memcpy speed used for eager-mode buffered
+	// copies (one on each side) and for self-messages, in bytes/s.
+	CopyBandwidth float64
+	// MSS is the TCP maximum segment size (payload bytes per frame).
+	MSS int64
+	// FrameOverhead is the per-frame wire overhead (headers, preamble,
+	// interframe gap), in bytes.
+	FrameOverhead int64
+	// InitWindow is the slow-start initial window in frames.
+	InitWindow int
+	// RampRounds caps the number of RTT-long doubling rounds the window
+	// ramp can cost a single message.
+	RampRounds int
+	// PerFrameCPU is the per-frame processing cost at the sender
+	// (interrupts, checksums).
+	PerFrameCPU core.Duration
+	// Jitter is the relative half-width of the deterministic pseudo-random
+	// perturbation applied to each message's effective wire time and
+	// software overheads, emulating the run-to-run noise of a real
+	// testbed (OS scheduling, TCP timers). 0 disables it.
+	Jitter float64
+}
+
+// OpenMPI returns the emulated OpenMPI 1.x parameter set.
+func OpenMPI() MPIImpl {
+	return MPIImpl{
+		Name:           "OpenMPI",
+		EagerThreshold: 64 * core.KiB,
+		SendOverhead:   14 * core.Microsecond,
+		RecvOverhead:   14 * core.Microsecond,
+		CopyBandwidth:  450e6,
+		MSS:            1448,
+		FrameOverhead:  90,
+		InitWindow:     4,
+		RampRounds:     3,
+		PerFrameCPU:    300 * 1e-9,
+		Jitter:         0.05,
+	}
+}
+
+// MPICH2 returns the emulated MPICH2 parameter set; slightly cheaper
+// per-message software costs, slightly slower copies, same 64 KiB
+// protocol switch.
+func MPICH2() MPIImpl {
+	return MPIImpl{
+		Name:           "MPICH2",
+		EagerThreshold: 64 * core.KiB,
+		SendOverhead:   12 * core.Microsecond,
+		RecvOverhead:   13 * core.Microsecond,
+		CopyBandwidth:  420e6,
+		MSS:            1448,
+		FrameOverhead:  90,
+		InitWindow:     2,
+		RampRounds:     3,
+		PerFrameCPU:    350 * 1e-9,
+		Jitter:         0.05,
+	}
+}
+
+// Net is the packet-level network model. It implements simix.Model.
+type Net struct {
+	kernel *simix.Kernel
+	plat   *platform.Platform
+	impl   MPIImpl
+
+	now    core.Time
+	events core.EventQueue
+	ports  map[*platform.Link]*port
+	rng    *core.RNG
+}
+
+type port struct {
+	busyUntil core.Time
+}
+
+// message is one wire transfer (control or payload) in flight.
+type message struct {
+	route     platform.Route
+	packets   []int64 // payload bytes per packet
+	delivered int
+	wireScale float64 // per-message jitter on effective wire time
+	onDone    func(at core.Time)
+}
+
+// hopEvent is a packet arriving at the input of route link index hop.
+type hopEvent struct {
+	msg *message
+	pkt int
+	hop int
+}
+
+// NewNet creates an emulated network over plat with the given MPI
+// implementation parameters.
+func NewNet(kernel *simix.Kernel, plat *platform.Platform, impl MPIImpl) *Net {
+	return &Net{
+		kernel: kernel,
+		plat:   plat,
+		impl:   impl,
+		ports:  make(map[*platform.Link]*port),
+		rng:    core.NewRNG(0x7e57bed ^ uint64(len(impl.Name))),
+	}
+}
+
+// jitterScale draws the per-message perturbation factor in
+// [1-Jitter/2, 1+Jitter/2]. The stream is seeded, so runs stay
+// deterministic while successive messages vary like on a real testbed.
+func (n *Net) jitterScale() float64 {
+	if n.impl.Jitter <= 0 {
+		return 1
+	}
+	return 1 + n.impl.Jitter*(n.rng.Float64()-0.5)
+}
+
+// Impl returns the emulated MPI implementation parameters.
+func (n *Net) Impl() MPIImpl { return n.impl }
+
+// Transfer emulates an MPI point-to-point payload of size bytes from src to
+// dst, fulfilling future at the time the receive completes. Must be called
+// from actor context.
+func (n *Net) Transfer(src, dst *platform.Host, size int64, future *simix.Future) {
+	n.now = n.kernel.Now()
+	if src == dst {
+		d := n.impl.SendOverhead + n.impl.RecvOverhead +
+			core.Duration(float64(size)/n.impl.CopyBandwidth)
+		n.kernel.FulfillAt(future, nil, n.now+d)
+		return
+	}
+	route := n.plat.Route(src, dst)
+	back := n.plat.Route(dst, src)
+
+	if size < n.impl.EagerThreshold {
+		// Eager: copy into the send buffer, push to the wire immediately,
+		// copy out on the receive side.
+		copyCost := core.Duration(float64(size) / n.impl.CopyBandwidth)
+		start := n.now + n.impl.SendOverhead + copyCost
+		n.inject(route, size, start, true, func(at core.Time) {
+			n.kernel.FulfillAt(future, nil, at+n.impl.RecvOverhead+copyCost)
+		})
+		return
+	}
+
+	// Rendezvous: RTS to the receiver, CTS back, then the (zero-copy)
+	// payload rides a warmed-up connection with no window ramp.
+	rtsStart := n.now + n.impl.SendOverhead
+	n.inject(route, 0, rtsStart, false, func(rtsAt core.Time) {
+		n.inject(back, 0, rtsAt, false, func(ctsAt core.Time) {
+			n.inject(route, size, ctsAt, false, func(at core.Time) {
+				n.kernel.FulfillAt(future, nil, at+n.impl.RecvOverhead)
+			})
+		})
+	})
+}
+
+// inject schedules the frames of a message onto the first port of route
+// starting at date start. ramp selects whether the slow-start window ramp
+// gates frame injection.
+func (n *Net) inject(route platform.Route, size int64, start core.Time, ramp bool, onDone func(core.Time)) {
+	m := &message{route: route, onDone: onDone, wireScale: n.jitterScale()}
+	if size == 0 {
+		m.packets = []int64{0}
+	} else {
+		for rem := size; rem > 0; rem -= n.impl.MSS {
+			m.packets = append(m.packets, minI64(rem, n.impl.MSS))
+		}
+	}
+	rtt := 2 * route.Latency
+	for i := range m.packets {
+		at := start + core.Duration(i)*n.impl.PerFrameCPU
+		if ramp {
+			at += core.Duration(n.rampRound(i)) * rtt
+		}
+		n.events.Push(at, hopEvent{msg: m, pkt: i, hop: 0})
+	}
+}
+
+// rampRound returns the slow-start round frame i falls into: the window
+// starts at InitWindow frames and doubles every round-trip, so frame i
+// waits floor(log2(i/W0+1)) RTTs, capped at RampRounds.
+func (n *Net) rampRound(i int) int {
+	w0 := n.impl.InitWindow
+	if w0 <= 0 || i < w0 {
+		return 0
+	}
+	r := bits.Len64(uint64(i/w0+1)) - 1
+	if r > n.impl.RampRounds {
+		r = n.impl.RampRounds
+	}
+	return r
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (n *Net) port(l *platform.Link) *port {
+	p, ok := n.ports[l]
+	if !ok {
+		p = &port{}
+		n.ports[l] = p
+	}
+	return p
+}
+
+// NextEvent implements simix.Model.
+func (n *Net) NextEvent() core.Time {
+	if e := n.events.Peek(); e != nil {
+		return e.At
+	}
+	return core.TimeForever
+}
+
+// Advance implements simix.Model: processes every packet-hop event up to
+// date to. Processing an event may schedule new events (the next hop, or —
+// via message completion callbacks — new messages).
+func (n *Net) Advance(to core.Time) {
+	for {
+		e := n.events.Peek()
+		if e == nil || e.At > to+1e-15 {
+			break
+		}
+		n.events.Pop()
+		n.now = e.At
+		he := e.Payload.(hopEvent)
+		n.processHop(he, e.At)
+	}
+	if to > n.now {
+		n.now = to
+	}
+}
+
+func (n *Net) processHop(he hopEvent, at core.Time) {
+	link := he.msg.route.Links[he.hop]
+	p := n.port(link)
+	startTx := at
+	if p.busyUntil > startTx {
+		startTx = p.busyUntil
+	}
+	wire := float64(he.msg.packets[he.pkt]+n.impl.FrameOverhead) * he.msg.wireScale
+	txEnd := startTx + core.Duration(wire/link.Bandwidth)
+	p.busyUntil = txEnd
+	arrive := txEnd + link.Latency
+	if he.hop+1 < len(he.msg.route.Links) {
+		n.events.Push(arrive, hopEvent{msg: he.msg, pkt: he.pkt, hop: he.hop + 1})
+		return
+	}
+	he.msg.delivered++
+	if he.msg.delivered == len(he.msg.packets) {
+		he.msg.onDone(arrive)
+	}
+}

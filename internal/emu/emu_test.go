@@ -1,0 +1,197 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"smpigo/internal/core"
+	"smpigo/internal/platform"
+	"smpigo/internal/simix"
+)
+
+// transferTime runs a single emulated transfer and returns its duration.
+func transferTime(t *testing.T, impl MPIImpl, size int64, hops string) core.Time {
+	t.Helper()
+	p, err := platform.Griffon().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := p.HostByID(0)
+	dst := p.HostByID(1) // same cabinet
+	if hops == "far" {
+		dst = p.HostByID(60) // different cabinet
+	}
+	k := simix.New()
+	n := NewNet(k, p, impl)
+	k.AddModel(n)
+	var done core.Time
+	k.Spawn("s", func(pr *simix.Proc) {
+		f := simix.NewFuture()
+		n.Transfer(src, dst, size, f)
+		pr.Wait(f)
+		done = pr.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return done
+}
+
+func TestSmallMessageLatencyDominated(t *testing.T) {
+	d := transferTime(t, OpenMPI(), 1, "near")
+	// Overheads (28us) + 2x20us link latency + one tiny frame.
+	if d < 60*core.Microsecond || d > 120*core.Microsecond {
+		t.Errorf("1-byte transfer took %v, want 60-120us", d)
+	}
+}
+
+func TestLargeMessageNearWireSpeed(t *testing.T) {
+	size := int64(4 * core.MiB)
+	d := transferTime(t, OpenMPI(), size, "near")
+	effBw := float64(size) / float64(d)
+	if effBw < 0.80*125e6 {
+		t.Errorf("4MiB effective bandwidth %.3g, want >= 80%% of 125e6", effBw)
+	}
+	if effBw > 125e6 {
+		t.Errorf("effective bandwidth %.3g exceeds wire speed", effBw)
+	}
+}
+
+func TestMediumMessagesSlowerThanAffine(t *testing.T) {
+	// The defining non-affine feature: effective bandwidth at 16-48 KiB is
+	// clearly below the large-message effective bandwidth because of the
+	// window ramp and eager copies.
+	mid := transferTime(t, OpenMPI(), 32*core.KiB, "near")
+	effMid := float64(32*core.KiB) / float64(mid)
+	big := transferTime(t, OpenMPI(), 4*core.MiB, "near")
+	effBig := float64(4*core.MiB) / float64(big)
+	if effMid > 0.7*effBig {
+		t.Errorf("mid-size effective bw %.3g not clearly below large-size %.3g", effMid, effBig)
+	}
+}
+
+func TestProtocolSwitchVisibleAtThreshold(t *testing.T) {
+	// Just below the eager threshold, time includes 2 copies; just above,
+	// an extra round trip appears. Both must be monotone vs a much smaller
+	// message, and the rendezvous penalty must be visible.
+	below := transferTime(t, OpenMPI(), 63*core.KiB, "near")
+	above := transferTime(t, OpenMPI(), 65*core.KiB, "near")
+	if above <= below {
+		t.Skip("rendezvous jump hidden by copy savings; acceptable")
+	}
+	if above-below > 2*core.Millisecond {
+		t.Errorf("protocol switch jump too large: %v -> %v", below, above)
+	}
+}
+
+func TestCrossCabinetSlower(t *testing.T) {
+	near := transferTime(t, OpenMPI(), 1024, "near")
+	far := transferTime(t, OpenMPI(), 1024, "far")
+	if far <= near {
+		t.Errorf("cross-cabinet (%v) should be slower than intra-cabinet (%v)", far, near)
+	}
+}
+
+func TestImplementationsDiffer(t *testing.T) {
+	om := transferTime(t, OpenMPI(), 128*core.KiB, "near")
+	mp := transferTime(t, MPICH2(), 128*core.KiB, "near")
+	if om == mp {
+		t.Error("OpenMPI and MPICH2 emulations should differ slightly")
+	}
+	rel := math.Abs(float64(om-mp)) / float64(om)
+	if rel > 0.25 {
+		t.Errorf("implementations differ by %.0f%%, want < 25%%", rel*100)
+	}
+}
+
+func TestSelfMessageIsMemcpy(t *testing.T) {
+	p, err := platform.Griffon().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := simix.New()
+	n := NewNet(k, p, OpenMPI())
+	k.AddModel(n)
+	var done core.Time
+	k.Spawn("s", func(pr *simix.Proc) {
+		f := simix.NewFuture()
+		n.Transfer(p.HostByID(0), p.HostByID(0), 45e6, f)
+		pr.Wait(f)
+		done = pr.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 45MB at 450MB/s = 100ms plus overheads.
+	if done < 0.09 || done > 0.2 {
+		t.Errorf("self message took %v, want ~0.1s", done)
+	}
+}
+
+func TestContentionAtSourcePort(t *testing.T) {
+	// Two large simultaneous transfers from the same node share its
+	// up-link: total time about twice a single transfer.
+	p, err := platform.Griffon().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(4 * core.MiB)
+	single := transferTime(t, OpenMPI(), size, "near")
+
+	k := simix.New()
+	n := NewNet(k, p, OpenMPI())
+	k.AddModel(n)
+	var last core.Time
+	k.Spawn("s", func(pr *simix.Proc) {
+		f1, f2 := simix.NewFuture(), simix.NewFuture()
+		n.Transfer(p.HostByID(0), p.HostByID(1), size, f1)
+		n.Transfer(p.HostByID(0), p.HostByID(2), size, f2)
+		pr.WaitAll([]*simix.Future{f1, f2})
+		last = pr.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(last) / float64(single)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("contended/single ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := transferTime(t, OpenMPI(), 100*core.KiB, "far")
+	b := transferTime(t, OpenMPI(), 100*core.KiB, "far")
+	if a != b {
+		t.Errorf("non-deterministic emulation: %v vs %v", a, b)
+	}
+}
+
+func TestMonotoneInSize(t *testing.T) {
+	prev := core.Time(0)
+	for _, size := range []int64{1, 256, 1024, 8 * core.KiB, 64 * core.KiB, 512 * core.KiB, 4 * core.MiB} {
+		d := transferTime(t, OpenMPI(), size, "near")
+		if d <= prev {
+			t.Errorf("transfer time not monotone at %s: %v after %v", core.FormatBytes(size), d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRampRound(t *testing.T) {
+	n := &Net{impl: OpenMPI()} // InitWindow 4
+	cases := []struct{ frame, want int }{
+		{0, 0}, {3, 0}, {4, 1}, {11, 1}, {12, 2}, {27, 2}, {28, 3}, {1000, 3},
+	}
+	for _, c := range cases {
+		if got := n.rampRound(c.frame); got != c.want {
+			t.Errorf("rampRound(%d) = %d, want %d", c.frame, got, c.want)
+		}
+	}
+}
+
+func TestZeroByteControlMessage(t *testing.T) {
+	d := transferTime(t, OpenMPI(), 0, "near")
+	if d <= 0 || d > 150*core.Microsecond {
+		t.Errorf("0-byte message took %v", d)
+	}
+}

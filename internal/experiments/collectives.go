@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"time"
+
+	"smpigo/internal/core"
+	"smpigo/internal/metrics"
+	"smpigo/internal/smpi"
+)
+
+// collectiveRun measures a collective operation: per-rank completion times
+// (relative to the synchronized start), the overall completion time, the
+// report, and the wall-clock duration of the simulation itself.
+type collectiveRun struct {
+	PerRank []float64
+	Total   float64
+	Report  *smpi.Report
+	Wall    time.Duration
+}
+
+// runScatter performs one binomial-tree scatter of chunk bytes per rank.
+func runScatter(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error) {
+	cfg.Procs = procs
+	out := &collectiveRun{PerRank: make([]float64, procs)}
+	app := func(r *smpi.Rank) {
+		c := r.Comm()
+		var sendbuf []byte
+		if r.Rank() == 0 {
+			sendbuf = make([]byte, int64(procs)*chunk)
+		}
+		recvbuf := make([]byte, chunk)
+		c.Barrier(r)
+		start := r.Now()
+		c.Scatter(r, sendbuf, recvbuf, 0)
+		out.PerRank[r.Rank()] = float64(r.Now() - start)
+	}
+	rep, err := smpi.Run(cfg, app)
+	if err != nil {
+		return nil, err
+	}
+	out.Report = rep
+	out.Wall = rep.WallTime
+	for _, t := range out.PerRank {
+		if t > out.Total {
+			out.Total = t
+		}
+	}
+	return out, nil
+}
+
+// runAlltoall performs one pairwise all-to-all with chunk bytes per pair.
+func runAlltoall(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error) {
+	cfg.Procs = procs
+	out := &collectiveRun{PerRank: make([]float64, procs)}
+	app := func(r *smpi.Rank) {
+		c := r.Comm()
+		sendbuf := make([]byte, int64(procs)*chunk)
+		recvbuf := make([]byte, int64(procs)*chunk)
+		c.Barrier(r)
+		start := r.Now()
+		c.Alltoall(r, sendbuf, recvbuf)
+		out.PerRank[r.Rank()] = float64(r.Now() - start)
+	}
+	rep, err := smpi.Run(cfg, app)
+	if err != nil {
+		return nil, err
+	}
+	out.Report = rep
+	out.Wall = rep.WallTime
+	for _, t := range out.PerRank {
+		if t > out.Total {
+			out.Total = t
+		}
+	}
+	return out, nil
+}
+
+// PerRankResult holds a per-rank comparison figure (Figures 7 and 11).
+type PerRankResult struct {
+	Table *Table
+	// Series maps a configuration name to its per-rank times in seconds.
+	Series map[string][]float64
+}
+
+// Figure7 reproduces Figure 7: per-process completion of a binomial-tree
+// scatter of 4 MiB chunks over 16 processes — SMPI with and without
+// contention vs emulated OpenMPI and MPICH2.
+func Figure7(env *Env) (*PerRankResult, error) {
+	const procs = 16
+	chunk := int64(4 * core.MiB)
+
+	withC, err := runScatter(surfConfig(env.Griffon, env.Piecewise), procs, chunk)
+	if err != nil {
+		return nil, err
+	}
+	noCfg := surfConfig(env.Griffon, env.Piecewise)
+	noCfg.NoContention = true
+	without, err := runScatter(noCfg, procs, chunk)
+	if err != nil {
+		return nil, err
+	}
+	om, err := runScatter(emuConfig(env.Griffon), procs, chunk)
+	if err != nil {
+		return nil, err
+	}
+	mpichCfg := emuConfig(env.Griffon)
+	mpichCfg.Impl = mpich2()
+	mp, err := runScatter(mpichCfg, procs, chunk)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PerRankResult{
+		Table: &Table{
+			Title:  "Figure 7: per-process binomial scatter, 16 procs, 4MiB chunks (seconds)",
+			Header: []string{"rank", "smpi_contention", "smpi_nocontention", "openmpi", "mpich2"},
+		},
+		Series: map[string][]float64{
+			"smpi":              withC.PerRank,
+			"smpi-nocontention": without.PerRank,
+			"openmpi":           om.PerRank,
+			"mpich2":            mp.PerRank,
+		},
+	}
+	for i := 0; i < procs; i++ {
+		res.Table.Add(i, withC.PerRank[i], without.PerRank[i], om.PerRank[i], mp.PerRank[i])
+	}
+	res.Table.Note("no-contention underestimates completion: %.3fs vs %.3fs (contention) vs %.3fs (OpenMPI)",
+		without.Total, withC.Total, om.Total)
+	sum := metrics.Summarize(nonZero(withC.PerRank), nonZero(om.PerRank))
+	res.Table.Note("SMPI(contention) vs OpenMPI per-rank: %s", sum)
+	return res, nil
+}
+
+// Figure11 reproduces Figure 11: per-process pairwise all-to-all with 4 MiB
+// messages over 16 processes.
+func Figure11(env *Env) (*PerRankResult, error) {
+	const procs = 16
+	chunk := int64(4 * core.MiB)
+
+	withC, err := runAlltoall(surfConfig(env.Griffon, env.Piecewise), procs, chunk)
+	if err != nil {
+		return nil, err
+	}
+	noCfg := surfConfig(env.Griffon, env.Piecewise)
+	noCfg.NoContention = true
+	without, err := runAlltoall(noCfg, procs, chunk)
+	if err != nil {
+		return nil, err
+	}
+	om, err := runAlltoall(emuConfig(env.Griffon), procs, chunk)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PerRankResult{
+		Table: &Table{
+			Title:  "Figure 11: per-process pairwise all-to-all, 16 procs, 4MiB messages (seconds)",
+			Header: []string{"rank", "smpi_contention", "smpi_nocontention", "openmpi"},
+		},
+		Series: map[string][]float64{
+			"smpi":              withC.PerRank,
+			"smpi-nocontention": without.PerRank,
+			"openmpi":           om.PerRank,
+		},
+	}
+	for i := 0; i < procs; i++ {
+		res.Table.Add(i, withC.PerRank[i], without.PerRank[i], om.PerRank[i])
+	}
+	sum := metrics.Summarize(nonZero(withC.PerRank), nonZero(om.PerRank))
+	res.Table.Note("SMPI(contention) vs OpenMPI per-rank: %s", sum)
+	res.Table.Note("no-contention vs OpenMPI per-rank: %s",
+		metrics.Summarize(nonZero(without.PerRank), nonZero(om.PerRank)))
+	return res, nil
+}
+
+// SweepResult holds a size- or proc-sweep accuracy figure
+// (Figures 8, 9 and 12).
+type SweepResult struct {
+	Table *Table
+	// X is the swept parameter (bytes or process count); Pred and Ref the
+	// SMPI and reference completion times.
+	X          []int64
+	Pred, Ref  []float64
+	Summary    metrics.Summary
+	RefSeries2 []float64 // optional second reference (MPICH2 in Figure 9)
+}
+
+// sweepSizes are the message sizes of Figures 8 and 12.
+func sweepSizes() []int64 {
+	return []int64{64, 1024, 16 * core.KiB, 128 * core.KiB, core.MiB, 4 * core.MiB}
+}
+
+// Figure8 reproduces Figure 8: binomial scatter accuracy vs message size,
+// 16 processes, SMPI vs OpenMPI.
+func Figure8(env *Env) (*SweepResult, error) {
+	return sweepCollective(env, "Figure 8: scatter time vs message size (16 procs)",
+		runScatter)
+}
+
+// Figure12 reproduces Figure 12: pairwise all-to-all accuracy vs message
+// size, 16 processes.
+func Figure12(env *Env) (*SweepResult, error) {
+	return sweepCollective(env, "Figure 12: all-to-all time vs message size (16 procs)",
+		runAlltoall)
+}
+
+func sweepCollective(env *Env, title string,
+	run func(smpi.Config, int, int64) (*collectiveRun, error)) (*SweepResult, error) {
+	const procs = 16
+	res := &SweepResult{Table: &Table{
+		Title:  title,
+		Header: []string{"size", "smpi_s", "openmpi_s", "err_pct"},
+	}}
+	for _, size := range sweepSizes() {
+		s, err := run(surfConfig(env.Griffon, env.Piecewise), procs, size)
+		if err != nil {
+			return nil, err
+		}
+		o, err := run(emuConfig(env.Griffon), procs, size)
+		if err != nil {
+			return nil, err
+		}
+		res.X = append(res.X, size)
+		res.Pred = append(res.Pred, s.Total)
+		res.Ref = append(res.Ref, o.Total)
+		res.Table.Add(core.FormatBytes(size), s.Total, o.Total,
+			metrics.ToPercent(metrics.LogError(s.Total, o.Total)))
+	}
+	res.Summary = metrics.Summarize(res.Pred, res.Ref)
+	res.Table.Note("overall: %s", res.Summary)
+	large := metrics.Summarize(res.Pred[len(res.Pred)-2:], res.Ref[len(res.Ref)-2:])
+	res.Table.Note("messages >= 1MiB: %s", large)
+	return res, nil
+}
+
+// Figure9 reproduces Figure 9: binomial scatter with 4 MiB receive buffers
+// and a growing number of processes (4 to 32); SMPI vs OpenMPI vs MPICH2.
+func Figure9(env *Env) (*SweepResult, error) {
+	chunk := int64(4 * core.MiB)
+	res := &SweepResult{Table: &Table{
+		Title:  "Figure 9: scatter time vs process count (4MiB receive buffers)",
+		Header: []string{"procs", "smpi_s", "openmpi_s", "mpich2_s", "err_pct"},
+	}}
+	for _, procs := range []int{4, 8, 16, 32} {
+		s, err := runScatter(surfConfig(env.Griffon, env.Piecewise), procs, chunk)
+		if err != nil {
+			return nil, err
+		}
+		o, err := runScatter(emuConfig(env.Griffon), procs, chunk)
+		if err != nil {
+			return nil, err
+		}
+		mpichCfg := emuConfig(env.Griffon)
+		mpichCfg.Impl = mpich2()
+		m, err := runScatter(mpichCfg, procs, chunk)
+		if err != nil {
+			return nil, err
+		}
+		res.X = append(res.X, int64(procs))
+		res.Pred = append(res.Pred, s.Total)
+		res.Ref = append(res.Ref, o.Total)
+		res.RefSeries2 = append(res.RefSeries2, m.Total)
+		res.Table.Add(procs, s.Total, o.Total, m.Total,
+			metrics.ToPercent(metrics.LogError(s.Total, o.Total)))
+	}
+	res.Summary = metrics.Summarize(res.Pred, res.Ref)
+	res.Table.Note("SMPI vs OpenMPI: %s", res.Summary)
+	return res, nil
+}
+
+func nonZero(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		if v <= 0 {
+			v = 1e-12
+		}
+		out[i] = v
+	}
+	return out
+}

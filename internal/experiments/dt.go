@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smpigo/internal/core"
+	"smpigo/internal/metrics"
+	"smpigo/internal/nas"
+	"smpigo/internal/smpi"
+)
+
+// DTResult holds Figure 15: NAS DT execution times, SMPI vs emulated
+// OpenMPI, for the WH and BH graphs on classes A and B.
+type DTResult struct {
+	Table *Table
+	// Times[graph][class] -> (smpi, openmpi) seconds.
+	SMPI, OpenMPI map[string]float64
+	Summary       metrics.Summary
+}
+
+// dtRun executes one DT instance.
+func dtRun(env *Env, cfg nas.DTConfig, backend smpi.Backend, payload int) (*smpi.Report, error) {
+	procs, err := nas.DTProcs(cfg.Graph, cfg.Class)
+	if err != nil {
+		return nil, err
+	}
+	cfg.PayloadBytes = payload
+	app, _ := nas.DT(cfg)
+	var run smpi.Config
+	if backend == smpi.BackendSurf {
+		run = surfConfig(env.Griffon, env.Piecewise)
+	} else {
+		run = emuConfig(env.Griffon)
+	}
+	run.Procs = procs
+	return smpi.Run(run, app)
+}
+
+// Figure15 reproduces Figure 15: DT WH and BH for classes A and B, SMPI
+// prediction vs emulated OpenMPI. Payload can be reduced for fast test
+// runs; 0 uses the class defaults.
+func Figure15(env *Env, payload int) (*DTResult, error) {
+	res := &DTResult{
+		Table: &Table{
+			Title:  "Figure 15: NAS DT execution time (seconds)",
+			Header: []string{"graph", "class", "smpi_s", "openmpi_s", "err_pct"},
+		},
+		SMPI:    make(map[string]float64),
+		OpenMPI: make(map[string]float64),
+	}
+	var pred, ref []float64
+	for _, class := range []nas.DTClass{nas.ClassA, nas.ClassB} {
+		for _, graph := range []nas.DTGraph{nas.WH, nas.BH} {
+			s, err := dtRun(env, nas.DTConfig{Graph: graph, Class: class}, smpi.BackendSurf, payload)
+			if err != nil {
+				return nil, err
+			}
+			o, err := dtRun(env, nas.DTConfig{Graph: graph, Class: class}, smpi.BackendEmu, payload)
+			if err != nil {
+				return nil, err
+			}
+			key := fmt.Sprintf("%s-%c", graph, class)
+			res.SMPI[key] = float64(s.SimulatedTime)
+			res.OpenMPI[key] = float64(o.SimulatedTime)
+			pred = append(pred, float64(s.SimulatedTime))
+			ref = append(ref, float64(o.SimulatedTime))
+			res.Table.Add(string(graph), string(class),
+				float64(s.SimulatedTime), float64(o.SimulatedTime),
+				metrics.ToPercent(metrics.LogError(float64(s.SimulatedTime), float64(o.SimulatedTime))))
+		}
+	}
+	res.Summary = metrics.Summarize(pred, ref)
+	res.Table.Note("overall: %s", res.Summary)
+	res.Table.Note("trend check: BH slower than WH on both backends for each class")
+	return res, nil
+}
+
+// RAMResult holds Figure 16: maximum per-rank RSS with and without RAM
+// folding, including the out-of-memory markers.
+type RAMResult struct {
+	Table *Table
+	// Plain and Folded map "graph-class" to bytes; a missing Plain entry
+	// means the unfolded run would not fit in HostRAM (the paper's "OM").
+	Plain, Folded map[string]float64
+	// HostRAM is the assumed single-node memory budget in bytes.
+	HostRAM float64
+}
+
+// Figure16 reproduces Figure 16: per-process memory footprint of DT with
+// and without RAM folding, classes A-C, all three graphs. Runs use the
+// no-contention analytical backend (the RSS metric does not depend on
+// network timing) and the class payload scaled by payloadScale in (0,1]
+// to keep test runs fast; OM classification always uses the class scale.
+func Figure16(env *Env, payloadScale float64, hostRAM float64) (*RAMResult, error) {
+	if payloadScale <= 0 || payloadScale > 1 {
+		payloadScale = 1
+	}
+	if hostRAM <= 0 {
+		hostRAM = 2 * float64(core.GiB)
+	}
+	res := &RAMResult{
+		Table: &Table{
+			Title:  "Figure 16: DT max RSS per process (MiB), with and without RAM folding",
+			Header: []string{"graph", "class", "procs", "smpi_MiB", "folded_MiB", "ratio"},
+		},
+		Plain:   make(map[string]float64),
+		Folded:  make(map[string]float64),
+		HostRAM: hostRAM,
+	}
+	cfgRun := surfConfig(env.Griffon, env.Piecewise)
+	cfgRun.NoContention = true // timing-irrelevant; avoids O(flows^2) sharing cost
+
+	for _, class := range []nas.DTClass{nas.ClassA, nas.ClassB, nas.ClassC} {
+		for _, graph := range []nas.DTGraph{nas.WH, nas.BH, nas.SH} {
+			procs, err := nas.DTProcs(graph, class)
+			if err != nil {
+				return nil, err
+			}
+			key := fmt.Sprintf("%s-%c", graph, class)
+			base := nas.DTConfig{Graph: graph, Class: class}
+			payload := int(payloadScale * float64(dtClassPayload(class)))
+
+			// Folded run always fits.
+			fold := base
+			fold.Fold = true
+			fold.PayloadBytes = payload
+			run := cfgRun
+			run.Procs = procs
+			fApp, _ := nas.DT(fold)
+			fRep, err := smpi.Run(run, fApp)
+			if err != nil {
+				return nil, fmt.Errorf("folded %s: %w", key, err)
+			}
+			res.Folded[key] = fRep.MaxPeakRSS / payloadScale
+
+			// Unfolded run: classify OM against the unscaled footprint.
+			unscaled := float64(procs) * 2 * float64(dtClassPayload(class))
+			if unscaled > hostRAM {
+				res.Table.Add(string(graph), string(class), procs, "OM",
+					res.Folded[key]/float64(core.MiB), "-")
+				continue
+			}
+			plain := base
+			plain.PayloadBytes = payload
+			pApp, _ := nas.DT(plain)
+			pRep, err := smpi.Run(run, pApp)
+			if err != nil {
+				return nil, fmt.Errorf("plain %s: %w", key, err)
+			}
+			res.Plain[key] = pRep.MaxPeakRSS / payloadScale
+			res.Table.Add(string(graph), string(class), procs,
+				res.Plain[key]/float64(core.MiB),
+				res.Folded[key]/float64(core.MiB),
+				fmt.Sprintf("%.1fx", res.Plain[key]/res.Folded[key]))
+		}
+	}
+	res.Table.Note("host RAM budget: %s; OM = out of memory without folding (paper's OM labels)",
+		core.FormatBytes(int64(hostRAM)))
+	return res, nil
+}
+
+// dtClassPayload mirrors the nas package's class payload table for OM
+// classification.
+func dtClassPayload(class nas.DTClass) int {
+	switch class {
+	case nas.ClassS:
+		return 64 * int(core.KiB)
+	case nas.ClassW:
+		return 256 * int(core.KiB)
+	case nas.ClassA:
+		return 4 * int(core.MiB)
+	case nas.ClassB:
+		return 6 * int(core.MiB)
+	default:
+		return 8 * int(core.MiB)
+	}
+}

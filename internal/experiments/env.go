@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"smpigo/internal/calibrate"
+	"smpigo/internal/emu"
+	"smpigo/internal/platform"
+	"smpigo/internal/skampi"
+	"smpigo/internal/smpi"
+	"smpigo/internal/surf"
+)
+
+// Env is the shared experimental environment: both clusters and the three
+// point-to-point models, calibrated once on the emulated griffon cluster
+// exactly as the paper calibrates on the real griffon (Section 6).
+type Env struct {
+	Griffon *platform.Platform
+	Gdx     *platform.Platform
+
+	// CalSamples is the SKaMPI ping-pong dataset measured on the emulated
+	// griffon cluster between two same-cabinet nodes.
+	CalSamples []calibrate.Sample
+	// CalInfo is the calibration route's physical parameters.
+	CalInfo calibrate.RouteInfo
+
+	// The three candidate models of Figures 3-5.
+	Default   surf.NetModel
+	BestFit   surf.NetModel
+	Piecewise surf.NetModel
+}
+
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+// NewEnv builds (and caches) the environment. Calibration is deterministic,
+// so sharing the cached value across figures and benchmarks is sound.
+func NewEnv() (*Env, error) {
+	envOnce.Do(func() { envVal, envErr = buildEnv() })
+	return envVal, envErr
+}
+
+func buildEnv() (*Env, error) {
+	griffon, err := platform.Griffon().Build()
+	if err != nil {
+		return nil, err
+	}
+	gdx, err := platform.Gdx().Build()
+	if err != nil {
+		return nil, err
+	}
+	a, b := griffon.HostByID(0), griffon.HostByID(1)
+	samples, err := skampi.PingPong(skampi.PingPongConfig{
+		Base: smpi.Config{Platform: griffon, Backend: smpi.BackendEmu},
+		A:    a, B: b,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("calibration ping-pong: %w", err)
+	}
+	info := skampi.RouteInfo(griffon, a, b)
+	def, err := calibrate.DefaultAffine(samples, info)
+	if err != nil {
+		return nil, err
+	}
+	fit, err := calibrate.BestFitAffine(samples, info)
+	if err != nil {
+		return nil, err
+	}
+	pwl, err := calibrate.FitPiecewise(samples, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Griffon:    griffon,
+		Gdx:        gdx,
+		CalSamples: samples,
+		CalInfo:    info,
+		Default:    def,
+		BestFit:    fit,
+		Piecewise:  pwl,
+	}, nil
+}
+
+// surfConfig returns an SMPI (analytical backend) config on plat with the
+// given model.
+func surfConfig(plat *platform.Platform, model surf.NetModel) smpi.Config {
+	return smpi.Config{Platform: plat, Backend: smpi.BackendSurf, Model: model}
+}
+
+// emuConfig returns a "real run" config on plat (emulated OpenMPI).
+func emuConfig(plat *platform.Platform) smpi.Config {
+	return smpi.Config{Platform: plat, Backend: smpi.BackendEmu}
+}
+
+// mpich2 returns the emulated MPICH2 parameter set.
+func mpich2() emu.MPIImpl { return emu.MPICH2() }

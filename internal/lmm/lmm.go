@@ -1,0 +1,283 @@
+// Package lmm implements the Linear Max-Min solver used by the analytical
+// network model, following the bandwidth-sharing approach of SimGrid's SURF
+// kernel (Casanova et al.; validated against packet-level simulation by
+// Velho & Legrand).
+//
+// The solver computes, for a set of variables (network flows) traversing a
+// set of constraints (links with finite capacity), the bounded max-min fair
+// allocation: capacities are filled progressively, every unfixed variable
+// grows at a rate proportional to its weight until either one of its
+// constraints saturates or the variable hits its own rate bound.
+//
+// Constraints can be Shared (the usual case: the capacity is divided among
+// the flows crossing the link) or FatPipe (each flow is individually capped
+// at the capacity but flows do not contend, which models an idealized
+// backbone or the "no contention" ablation of the paper's Figures 7 and 11).
+package lmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// SharingPolicy selects how a constraint's capacity is distributed.
+type SharingPolicy int
+
+const (
+	// Shared divides the capacity among all variables crossing the
+	// constraint (max-min).
+	Shared SharingPolicy = iota
+	// FatPipe caps each variable at the capacity without any contention
+	// between variables.
+	FatPipe
+)
+
+// Constraint is a capacity-limited resource (a network link, a CPU).
+type Constraint struct {
+	Capacity float64
+	Policy   SharingPolicy
+	// Name is an optional label used in error messages and debug dumps.
+	Name string
+
+	vars []*Variable
+
+	// scratch used by Solve
+	remaining     float64
+	unfixedWeight float64
+	active        bool
+}
+
+// Variable is an entity receiving a share of the constrained capacities
+// (a network flow, a compute task). After Solve, Value holds its allocation.
+type Variable struct {
+	// Weight scales the share this variable receives relative to its
+	// competitors. Weight 0 disables the variable (it receives 0).
+	Weight float64
+	// Bound is an intrinsic rate bound (e.g. the per-size bandwidth bound
+	// of the piece-wise linear model). Use math.Inf(1) for unbounded.
+	Bound float64
+	// Value is the allocation computed by the last Solve call.
+	Value float64
+	// Name is an optional label.
+	Name string
+
+	cons  []*Constraint
+	fixed bool
+}
+
+// System owns a set of constraints and variables and computes allocations.
+type System struct {
+	constraints []*Constraint
+	variables   []*Variable
+}
+
+// New returns an empty system.
+func New() *System { return &System{} }
+
+// NewConstraint adds a constraint with the given capacity and policy.
+func (s *System) NewConstraint(name string, capacity float64, policy SharingPolicy) *Constraint {
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("lmm: invalid capacity %v for constraint %q", capacity, name))
+	}
+	c := &Constraint{Capacity: capacity, Policy: policy, Name: name}
+	s.constraints = append(s.constraints, c)
+	return c
+}
+
+// NewVariable adds a variable with the given weight and rate bound.
+// Use math.Inf(1) for an unbounded variable.
+func (s *System) NewVariable(name string, weight, bound float64) *Variable {
+	if weight < 0 || math.IsNaN(weight) {
+		panic(fmt.Sprintf("lmm: invalid weight %v for variable %q", weight, name))
+	}
+	v := &Variable{Weight: weight, Bound: bound, Name: name}
+	s.variables = append(s.variables, v)
+	return v
+}
+
+// Attach routes variable v through constraint c. Attaching the same pair
+// twice is allowed and has no additional effect.
+func (s *System) Attach(v *Variable, c *Constraint) {
+	for _, existing := range v.cons {
+		if existing == c {
+			return
+		}
+	}
+	v.cons = append(v.cons, c)
+	c.vars = append(c.vars, v)
+}
+
+// RemoveVariable detaches v from every constraint and removes it from the
+// system. Typically called when a flow completes.
+func (s *System) RemoveVariable(v *Variable) {
+	for _, c := range v.cons {
+		for i, w := range c.vars {
+			if w == v {
+				c.vars = append(c.vars[:i], c.vars[i+1:]...)
+				break
+			}
+		}
+	}
+	v.cons = nil
+	for i, w := range s.variables {
+		if w == v {
+			s.variables = append(s.variables[:i], s.variables[i+1:]...)
+			break
+		}
+	}
+}
+
+// Variables returns the live variables (primarily for tests and debugging).
+func (s *System) Variables() []*Variable { return s.variables }
+
+// Solve computes the bounded max-min fair allocation, storing each
+// variable's share in its Value field.
+//
+// Progressive filling: at each round the tightest shared constraint (or
+// variable bound) determines a fair rate r; variables limited by it are
+// fixed, their usage is subtracted, and the process repeats. FatPipe
+// constraints only contribute per-variable caps.
+func (s *System) Solve() {
+	// Reset scratch state.
+	for _, v := range s.variables {
+		v.fixed = false
+		v.Value = 0
+		if v.Weight == 0 {
+			v.fixed = true
+		}
+	}
+	for _, c := range s.constraints {
+		c.remaining = c.Capacity
+		c.active = false
+	}
+
+	// Effective bound of a variable: its own bound plus the tightest
+	// FatPipe cap it crosses.
+	bound := func(v *Variable) float64 {
+		b := v.Bound
+		for _, c := range v.cons {
+			if c.Policy == FatPipe && c.Capacity < b {
+				b = c.Capacity
+			}
+		}
+		return b
+	}
+
+	unfixed := 0
+	for _, v := range s.variables {
+		if !v.fixed {
+			unfixed++
+		}
+	}
+
+	for unfixed > 0 {
+		// Recompute unfixed weight per shared constraint.
+		for _, c := range s.constraints {
+			c.unfixedWeight = 0
+			c.active = false
+			if c.Policy != Shared {
+				continue
+			}
+			for _, v := range c.vars {
+				if !v.fixed {
+					c.unfixedWeight += v.Weight
+				}
+			}
+			if c.unfixedWeight > 0 {
+				c.active = true
+			}
+		}
+
+		// Fair-share rate candidate from constraints.
+		r := math.Inf(1)
+		for _, c := range s.constraints {
+			if c.active {
+				if share := c.remaining / c.unfixedWeight; share < r {
+					r = share
+				}
+			}
+		}
+		// Candidate from variable bounds (rate = bound/weight).
+		for _, v := range s.variables {
+			if v.fixed {
+				continue
+			}
+			if b := bound(v); !math.IsInf(b, 1) {
+				if br := b / v.Weight; br < r {
+					r = br
+				}
+			}
+		}
+
+		if math.IsInf(r, 1) {
+			// No shared constraint and no bound limits the remaining
+			// variables; they are effectively unbounded. Flag loudly
+			// rather than looping forever.
+			panic("lmm: unbounded variables with no active constraint")
+		}
+
+		progressed := false
+		// Fix variables whose bound is reached at rate r.
+		for _, v := range s.variables {
+			if v.fixed {
+				continue
+			}
+			if b := bound(v); !math.IsInf(b, 1) && b <= r*v.Weight*(1+1e-12) {
+				v.Value = b
+				v.fixed = true
+				unfixed--
+				progressed = true
+				for _, c := range v.cons {
+					if c.Policy == Shared {
+						c.remaining -= v.Value
+						if c.remaining < 0 {
+							c.remaining = 0
+						}
+					}
+				}
+			}
+		}
+		// Fix variables on saturated constraints. Weights are recomputed
+		// live because fixes earlier in this round (at bounds, or on other
+		// constraints) change both remaining capacity and unfixed weight;
+		// the progressive-filling invariant guarantees live shares stay
+		// >= r, with equality exactly on saturated constraints.
+		for _, c := range s.constraints {
+			if !c.active {
+				continue
+			}
+			live := 0.0
+			for _, v := range c.vars {
+				if !v.fixed {
+					live += v.Weight
+				}
+			}
+			if live == 0 {
+				continue
+			}
+			share := c.remaining / live
+			if share <= r*(1+1e-12) {
+				for _, v := range c.vars {
+					if v.fixed {
+						continue
+					}
+					v.Value = r * v.Weight
+					v.fixed = true
+					unfixed--
+					progressed = true
+					for _, cc := range v.cons {
+						if cc.Policy == Shared {
+							cc.remaining -= v.Value
+							if cc.remaining < 0 {
+								cc.remaining = 0
+							}
+						}
+					}
+				}
+			}
+		}
+		if !progressed {
+			panic("lmm: solver failed to make progress")
+		}
+	}
+}

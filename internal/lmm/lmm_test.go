@@ -1,0 +1,324 @@
+package lmm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-6*math.Max(1, math.Abs(b)) }
+
+func TestSingleFlowGetsFullCapacity(t *testing.T) {
+	s := New()
+	l := s.NewConstraint("link", 100, Shared)
+	v := s.NewVariable("flow", 1, math.Inf(1))
+	s.Attach(v, l)
+	s.Solve()
+	if !approx(v.Value, 100) {
+		t.Errorf("single flow value = %v, want 100", v.Value)
+	}
+}
+
+func TestTwoFlowsShareEqually(t *testing.T) {
+	s := New()
+	l := s.NewConstraint("link", 100, Shared)
+	a := s.NewVariable("a", 1, math.Inf(1))
+	b := s.NewVariable("b", 1, math.Inf(1))
+	s.Attach(a, l)
+	s.Attach(b, l)
+	s.Solve()
+	if !approx(a.Value, 50) || !approx(b.Value, 50) {
+		t.Errorf("shares = %v, %v, want 50, 50", a.Value, b.Value)
+	}
+}
+
+func TestWeightedSharing(t *testing.T) {
+	s := New()
+	l := s.NewConstraint("link", 90, Shared)
+	a := s.NewVariable("a", 1, math.Inf(1))
+	b := s.NewVariable("b", 2, math.Inf(1))
+	s.Attach(a, l)
+	s.Attach(b, l)
+	s.Solve()
+	if !approx(a.Value, 30) || !approx(b.Value, 60) {
+		t.Errorf("shares = %v, %v, want 30, 60", a.Value, b.Value)
+	}
+}
+
+func TestBoundedFlowReleasesCapacity(t *testing.T) {
+	s := New()
+	l := s.NewConstraint("link", 100, Shared)
+	a := s.NewVariable("a", 1, 10) // capped well below fair share
+	b := s.NewVariable("b", 1, math.Inf(1))
+	s.Attach(a, l)
+	s.Attach(b, l)
+	s.Solve()
+	if !approx(a.Value, 10) {
+		t.Errorf("bounded flow = %v, want 10", a.Value)
+	}
+	if !approx(b.Value, 90) {
+		t.Errorf("unbounded flow should absorb slack: %v, want 90", b.Value)
+	}
+}
+
+// The staleness regression: after a bottleneck fixes two flows, a second
+// constraint crossed by one of them must hand its true residual capacity to
+// its remaining flow, not the bottleneck rate.
+func TestResidualCapacityAfterBottleneck(t *testing.T) {
+	s := New()
+	c1 := s.NewConstraint("c1", 2, Shared)
+	c2 := s.NewConstraint("c2", 2.2, Shared)
+	a := s.NewVariable("a", 1, math.Inf(1))
+	b := s.NewVariable("b", 1, math.Inf(1))
+	c := s.NewVariable("c", 1, math.Inf(1))
+	s.Attach(a, c1)
+	s.Attach(b, c1)
+	s.Attach(b, c2)
+	s.Attach(c, c2)
+	s.Solve()
+	if !approx(a.Value, 1) || !approx(b.Value, 1) {
+		t.Errorf("bottleneck shares = %v, %v, want 1, 1", a.Value, b.Value)
+	}
+	if !approx(c.Value, 1.2) {
+		t.Errorf("residual share = %v, want 1.2", c.Value)
+	}
+}
+
+func TestMultiHopFlowLimitedByTightestLink(t *testing.T) {
+	s := New()
+	fast := s.NewConstraint("fast", 1000, Shared)
+	slow := s.NewConstraint("slow", 10, Shared)
+	v := s.NewVariable("v", 1, math.Inf(1))
+	s.Attach(v, fast)
+	s.Attach(v, slow)
+	s.Solve()
+	if !approx(v.Value, 10) {
+		t.Errorf("multi-hop flow = %v, want 10", v.Value)
+	}
+}
+
+func TestFatPipeNoContention(t *testing.T) {
+	s := New()
+	bb := s.NewConstraint("backbone", 100, FatPipe)
+	a := s.NewVariable("a", 1, math.Inf(1))
+	b := s.NewVariable("b", 1, math.Inf(1))
+	s.Attach(a, bb)
+	s.Attach(b, bb)
+	s.Solve()
+	if !approx(a.Value, 100) || !approx(b.Value, 100) {
+		t.Errorf("fatpipe shares = %v, %v, want 100 each", a.Value, b.Value)
+	}
+}
+
+func TestFatPipeCombinedWithSharedLink(t *testing.T) {
+	s := New()
+	edge := s.NewConstraint("edge", 60, Shared)
+	bb := s.NewConstraint("backbone", 40, FatPipe)
+	a := s.NewVariable("a", 1, math.Inf(1))
+	b := s.NewVariable("b", 1, math.Inf(1))
+	s.Attach(a, edge)
+	s.Attach(a, bb)
+	s.Attach(b, edge)
+	s.Solve()
+	// a is capped at 40 by the fatpipe; b takes the shared link residual.
+	if !approx(a.Value, 30) && !approx(a.Value, 40) {
+		t.Errorf("a = %v", a.Value)
+	}
+	s.Solve()
+	total := a.Value + b.Value
+	if total > 60+eps {
+		t.Errorf("shared link oversubscribed: %v > 60", total)
+	}
+	// Fair share is 30/30 (both below a's 40 cap).
+	if !approx(a.Value, 30) || !approx(b.Value, 30) {
+		t.Errorf("shares = %v, %v, want 30, 30", a.Value, b.Value)
+	}
+}
+
+func TestZeroWeightVariableGetsNothing(t *testing.T) {
+	s := New()
+	l := s.NewConstraint("l", 100, Shared)
+	a := s.NewVariable("a", 0, math.Inf(1))
+	b := s.NewVariable("b", 1, math.Inf(1))
+	s.Attach(a, l)
+	s.Attach(b, l)
+	s.Solve()
+	if a.Value != 0 {
+		t.Errorf("zero-weight var got %v", a.Value)
+	}
+	if !approx(b.Value, 100) {
+		t.Errorf("b = %v, want 100", b.Value)
+	}
+}
+
+func TestRemoveVariableRedistributes(t *testing.T) {
+	s := New()
+	l := s.NewConstraint("l", 100, Shared)
+	a := s.NewVariable("a", 1, math.Inf(1))
+	b := s.NewVariable("b", 1, math.Inf(1))
+	s.Attach(a, l)
+	s.Attach(b, l)
+	s.Solve()
+	if !approx(a.Value, 50) {
+		t.Fatalf("pre-removal share = %v", a.Value)
+	}
+	s.RemoveVariable(a)
+	s.Solve()
+	if !approx(b.Value, 100) {
+		t.Errorf("after removal b = %v, want 100", b.Value)
+	}
+	if len(s.Variables()) != 1 {
+		t.Errorf("variables left = %d, want 1", len(s.Variables()))
+	}
+}
+
+func TestAttachIsIdempotent(t *testing.T) {
+	s := New()
+	l := s.NewConstraint("l", 100, Shared)
+	a := s.NewVariable("a", 1, math.Inf(1))
+	s.Attach(a, l)
+	s.Attach(a, l)
+	b := s.NewVariable("b", 1, math.Inf(1))
+	s.Attach(b, l)
+	s.Solve()
+	if !approx(a.Value, 50) || !approx(b.Value, 50) {
+		t.Errorf("double attach skewed shares: %v, %v", a.Value, b.Value)
+	}
+}
+
+func TestUnboundedNoConstraintPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unbounded unconstrained variable")
+		}
+	}()
+	s := New()
+	s.NewVariable("v", 1, math.Inf(1))
+	s.Solve()
+}
+
+func TestBoundOnlyVariable(t *testing.T) {
+	s := New()
+	v := s.NewVariable("v", 1, 42)
+	s.Solve()
+	if !approx(v.Value, 42) {
+		t.Errorf("bound-only variable = %v, want 42", v.Value)
+	}
+}
+
+func TestInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative capacity")
+		}
+	}()
+	New().NewConstraint("bad", -1, Shared)
+}
+
+func TestInvalidWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative weight")
+		}
+	}()
+	New().NewVariable("bad", -1, 1)
+}
+
+// buildRandomSystem constructs a pseudo-random feasible system from raw
+// fuzz inputs, returning the system plus the lists needed for checks.
+func buildRandomSystem(caps []uint8, routes [][]uint8, bounds []uint8) (*System, []*Constraint, []*Variable) {
+	s := New()
+	var cons []*Constraint
+	for i, c := range caps {
+		cons = append(cons, s.NewConstraint("c", float64(c%100)+1, SharingPolicy(i%2)*0)) // all Shared
+	}
+	if len(cons) == 0 {
+		cons = append(cons, s.NewConstraint("c0", 50, Shared))
+	}
+	var vars []*Variable
+	for i, route := range routes {
+		bound := math.Inf(1)
+		if i < len(bounds) && bounds[i]%3 == 0 {
+			bound = float64(bounds[i])/4 + 0.5
+		}
+		v := s.NewVariable("v", 1, bound)
+		attached := false
+		for _, hop := range route {
+			s.Attach(v, cons[int(hop)%len(cons)])
+			attached = true
+		}
+		if !attached {
+			s.Attach(v, cons[0])
+		}
+		vars = append(vars, v)
+	}
+	return s, cons, vars
+}
+
+// Property 1: no constraint is oversubscribed; Property 2: every variable is
+// "blocked" — it either sits at its bound or crosses at least one saturated
+// constraint (Pareto efficiency of max-min fairness).
+func TestSolveProperties(t *testing.T) {
+	f := func(caps []uint8, routes [][]uint8, bounds []uint8) bool {
+		if len(routes) > 40 {
+			routes = routes[:40]
+		}
+		if len(caps) > 10 {
+			caps = caps[:10]
+		}
+		s, cons, vars := buildRandomSystem(caps, routes, bounds)
+		s.Solve()
+		for _, c := range cons {
+			sum := 0.0
+			for _, v := range c.vars {
+				sum += v.Value
+			}
+			if sum > c.Capacity*(1+1e-6) {
+				return false
+			}
+		}
+		for _, v := range vars {
+			if v.Value < 0 {
+				return false
+			}
+			atBound := !math.IsInf(v.Bound, 1) && v.Value >= v.Bound*(1-1e-6)
+			saturated := false
+			for _, c := range v.cons {
+				sum := 0.0
+				for _, w := range c.vars {
+					sum += w.Value
+				}
+				if sum >= c.Capacity*(1-1e-6) {
+					saturated = true
+				}
+			}
+			if !atBound && !saturated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolve100Flows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New()
+		links := make([]*Constraint, 20)
+		for j := range links {
+			links[j] = s.NewConstraint("l", 125e6, Shared)
+		}
+		for f := 0; f < 100; f++ {
+			v := s.NewVariable("f", 1, math.Inf(1))
+			s.Attach(v, links[f%20])
+			s.Attach(v, links[(f+7)%20])
+		}
+		b.StartTimer()
+		s.Solve()
+	}
+}

@@ -1,0 +1,75 @@
+// Package metrics implements the accuracy metrics of the paper's Section
+// 7.1: the logarithmic error of Velho & Legrand, which unlike the relative
+// error is symmetric under over- and under-estimation, aggregates with
+// ordinary mean/max, and converts back to a familiar percentage with
+// exp(err)-1.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogError returns |ln(x) - ln(ref)|. Both values must be positive.
+func LogError(x, ref float64) float64 {
+	if x <= 0 || ref <= 0 {
+		panic(fmt.Sprintf("metrics: LogError needs positive values, got %v, %v", x, ref))
+	}
+	return math.Abs(math.Log(x) - math.Log(ref))
+}
+
+// ToPercent converts a logarithmic error to the percentage the paper
+// reports: e^err - 1, as a percentage value (8.63 means 8.63%).
+func ToPercent(logErr float64) float64 {
+	return (math.Exp(logErr) - 1) * 100
+}
+
+// Summary aggregates logarithmic errors over a series of predictions.
+type Summary struct {
+	// MeanLog and MaxLog are the average and worst logarithmic errors.
+	MeanLog float64
+	MaxLog  float64
+	// N is the number of points aggregated.
+	N int
+}
+
+// MeanPct returns the mean error as a percentage (the paper's "average
+// error overall").
+func (s Summary) MeanPct() float64 { return ToPercent(s.MeanLog) }
+
+// WorstPct returns the maximum error as a percentage (the paper's "worst
+// case").
+func (s Summary) WorstPct() float64 { return ToPercent(s.MaxLog) }
+
+// String formats the summary the way the paper quotes errors.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f%% avg (worst %.2f%%, n=%d)", s.MeanPct(), s.WorstPct(), s.N)
+}
+
+// Summarize computes the error summary of predictions against references.
+// The slices must have equal nonzero length.
+func Summarize(pred, ref []float64) Summary {
+	if len(pred) != len(ref) || len(pred) == 0 {
+		panic(fmt.Sprintf("metrics: Summarize on %d/%d points", len(pred), len(ref)))
+	}
+	var s Summary
+	for i := range pred {
+		e := LogError(pred[i], ref[i])
+		s.MeanLog += e
+		if e > s.MaxLog {
+			s.MaxLog = e
+		}
+	}
+	s.MeanLog /= float64(len(pred))
+	s.N = len(pred)
+	return s
+}
+
+// RelativeError returns (x-ref)/ref, the biased metric the paper's Section
+// 7.1 discusses before adopting the logarithmic error.
+func RelativeError(x, ref float64) float64 {
+	if ref == 0 {
+		panic("metrics: RelativeError with zero reference")
+	}
+	return (x - ref) / ref
+}

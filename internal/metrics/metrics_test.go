@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogErrorSymmetry(t *testing.T) {
+	// The motivating property from the paper: doubling and halving give
+	// the same error, unlike relative error.
+	if LogError(2, 1) != LogError(1, 2) {
+		t.Error("log error must be symmetric")
+	}
+	if RelativeError(2, 1) == -RelativeError(0.5, 1) {
+		t.Error("relative error is expected to be asymmetric (sanity)")
+	}
+}
+
+func TestLogErrorExactValues(t *testing.T) {
+	if got := LogError(math.E, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("LogError(e,1) = %v, want 1", got)
+	}
+	if got := LogError(5, 5); got != 0 {
+		t.Errorf("LogError(5,5) = %v, want 0", got)
+	}
+}
+
+func TestToPercent(t *testing.T) {
+	// A log error of ln(2) is a 100% discrepancy.
+	if got := ToPercent(math.Log(2)); math.Abs(got-100) > 1e-9 {
+		t.Errorf("ToPercent(ln2) = %v, want 100", got)
+	}
+	if got := ToPercent(0); got != 0 {
+		t.Errorf("ToPercent(0) = %v, want 0", got)
+	}
+}
+
+func TestLogErrorPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	LogError(0, 1)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 4}, []float64{1, 1, 1})
+	if s.N != 3 {
+		t.Errorf("N = %d", s.N)
+	}
+	wantMean := (0 + math.Log(2) + math.Log(4)) / 3
+	if math.Abs(s.MeanLog-wantMean) > 1e-12 {
+		t.Errorf("MeanLog = %v, want %v", s.MeanLog, wantMean)
+	}
+	if math.Abs(s.MaxLog-math.Log(4)) > 1e-12 {
+		t.Errorf("MaxLog = %v", s.MaxLog)
+	}
+	if math.Abs(s.WorstPct()-300) > 1e-9 {
+		t.Errorf("WorstPct = %v, want 300", s.WorstPct())
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummarizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	Summarize([]float64{1}, []float64{1, 2})
+}
+
+func TestLogErrorProperties(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x := float64(a%10000) + 1
+		r := float64(b%10000) + 1
+		e := LogError(x, r)
+		if e < 0 {
+			return false
+		}
+		if e != LogError(r, x) {
+			return false
+		}
+		// Scale invariance: errors depend only on the ratio.
+		return math.Abs(e-LogError(10*x, 10*r)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

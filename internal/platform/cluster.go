@@ -1,0 +1,202 @@
+package platform
+
+import (
+	"fmt"
+
+	"smpigo/internal/core"
+	"smpigo/internal/lmm"
+)
+
+// ClusterSpec describes a hierarchical cluster: cabinets of nodes, each
+// cabinet behind its own switch, all cabinet switches connected to a
+// second-level switch (the backbone). This matches the topology of the
+// paper's evaluation clusters.
+type ClusterSpec struct {
+	// Name prefixes host and link names ("griffon" -> "griffon-0", ...).
+	Name string
+	// Cabinets lists the number of nodes in each cabinet (switch group).
+	Cabinets []int
+	// NodeSpeed is the per-node compute speed in flop/s.
+	NodeSpeed float64
+	// NodeLinkBandwidth/NodeLinkLatency describe the node-to-cabinet-switch
+	// link. Each node gets separate full-duplex up and down links.
+	NodeLinkBandwidth float64
+	NodeLinkLatency   core.Duration
+	// CabinetBackplaneBandwidth/CabinetBackplaneLatency describe each
+	// cabinet switch's internal backplane, a shared resource crossed by
+	// every flow through the switch. A finite backplane is what makes
+	// many-to-many traffic (the paper's all-to-all, Figure 11) contend
+	// even between disjoint node pairs.
+	CabinetBackplaneBandwidth float64
+	CabinetBackplaneLatency   core.Duration
+	// UplinkBandwidth/UplinkLatency describe the cabinet-switch-to-backbone
+	// link (again split into up and down directions).
+	UplinkBandwidth float64
+	UplinkLatency   core.Duration
+	// BackboneBandwidth/BackboneLatency describe the second-level switch.
+	BackboneBandwidth float64
+	BackboneLatency   core.Duration
+	// BackboneFatPipe makes the backbone a non-blocking crossbar: flows are
+	// individually capped at BackboneBandwidth but do not contend there.
+	BackboneFatPipe bool
+}
+
+// NodeCount returns the total number of nodes across cabinets.
+func (s ClusterSpec) NodeCount() int {
+	n := 0
+	for _, c := range s.Cabinets {
+		n += c
+	}
+	return n
+}
+
+// Validate reports the first structural problem with the spec, if any.
+func (s ClusterSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("cluster spec: empty name")
+	case len(s.Cabinets) == 0:
+		return fmt.Errorf("cluster spec %q: no cabinets", s.Name)
+	case s.NodeSpeed <= 0:
+		return fmt.Errorf("cluster spec %q: non-positive node speed", s.Name)
+	case s.NodeLinkBandwidth <= 0 || s.UplinkBandwidth <= 0 || s.BackboneBandwidth <= 0:
+		return fmt.Errorf("cluster spec %q: non-positive bandwidth", s.Name)
+	case s.CabinetBackplaneBandwidth <= 0:
+		return fmt.Errorf("cluster spec %q: non-positive cabinet backplane bandwidth", s.Name)
+	}
+	for i, c := range s.Cabinets {
+		if c <= 0 {
+			return fmt.Errorf("cluster spec %q: cabinet %d has %d nodes", s.Name, i, c)
+		}
+	}
+	return nil
+}
+
+// Build instantiates the platform for the spec: per-node up/down links,
+// per-cabinet up/down uplinks, one backbone link, and a hierarchical router.
+func (s ClusterSpec) Build() (*Platform, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := New(s.Name)
+
+	type nodeLinks struct{ up, down *Link }
+	type cabLinks struct {
+		up, down  *Link
+		backplane *Link
+	}
+
+	var nodes []nodeLinks
+	cabs := make([]cabLinks, len(s.Cabinets))
+
+	for ci, count := range s.Cabinets {
+		cabs[ci] = cabLinks{
+			up:   p.AddLink(fmt.Sprintf("%s-cab%d-up", s.Name, ci), s.UplinkBandwidth, s.UplinkLatency, lmm.Shared),
+			down: p.AddLink(fmt.Sprintf("%s-cab%d-down", s.Name, ci), s.UplinkBandwidth, s.UplinkLatency, lmm.Shared),
+			backplane: p.AddLink(fmt.Sprintf("%s-cab%d-backplane", s.Name, ci),
+				s.CabinetBackplaneBandwidth, s.CabinetBackplaneLatency, lmm.Shared),
+		}
+		for n := 0; n < count; n++ {
+			id := len(nodes)
+			h := p.AddHost(fmt.Sprintf("%s-%d", s.Name, id), s.NodeSpeed)
+			h.Cabinet = ci
+			nodes = append(nodes, nodeLinks{
+				up:   p.AddLink(fmt.Sprintf("%s-up-%d", s.Name, id), s.NodeLinkBandwidth, s.NodeLinkLatency, lmm.Shared),
+				down: p.AddLink(fmt.Sprintf("%s-down-%d", s.Name, id), s.NodeLinkBandwidth, s.NodeLinkLatency, lmm.Shared),
+			})
+		}
+	}
+
+	policy := lmm.Shared
+	if s.BackboneFatPipe {
+		policy = lmm.FatPipe
+	}
+	backbone := p.AddLink(s.Name+"-backbone", s.BackboneBandwidth, s.BackboneLatency, policy)
+
+	p.router = func(a, b *Host) Route {
+		var links []*Link
+		if a.Cabinet == b.Cabinet {
+			links = []*Link{nodes[a.ID].up, cabs[a.Cabinet].backplane, nodes[b.ID].down}
+		} else {
+			links = []*Link{
+				nodes[a.ID].up,
+				cabs[a.Cabinet].backplane,
+				cabs[a.Cabinet].up,
+				backbone,
+				cabs[b.Cabinet].down,
+				cabs[b.Cabinet].backplane,
+				nodes[b.ID].down,
+			}
+		}
+		r := Route{Links: links}
+		for _, l := range links {
+			r.Latency += l.Latency
+		}
+		return r
+	}
+	return p, nil
+}
+
+// SwitchHops returns the number of switches a message between the two hosts
+// traverses on a cluster built by Build: 1 inside a cabinet, 3 across
+// cabinets (cabinet switch, second-level switch, cabinet switch). This is
+// the quantity the paper's Figure 5 varies.
+func SwitchHops(a, b *Host) int {
+	if a.Cabinet == b.Cabinet {
+		return 1
+	}
+	return 3
+}
+
+// Griffon returns the spec for the griffon cluster of the paper: 92 nodes
+// (2.5 GHz dual-proc quad-core Xeon L5420) in cabinets of 33, 27 and 32
+// nodes, Gigabit Ethernet to each cabinet switch, cabinet switches
+// interconnected through a 10 Gigabit second-level switch.
+func Griffon() ClusterSpec {
+	return ClusterSpec{
+		Name:                      "griffon",
+		Cabinets:                  []int{33, 27, 32},
+		NodeSpeed:                 1e9, // 1 Gf/s reference speed for burst scaling
+		NodeLinkBandwidth:         125e6,
+		NodeLinkLatency:           20 * core.Microsecond,
+		CabinetBackplaneBandwidth: 1.25e9,
+		CabinetBackplaneLatency:   2 * core.Microsecond,
+		UplinkBandwidth:           1.25e9,
+		UplinkLatency:             4 * core.Microsecond,
+		BackboneBandwidth:         1.25e9,
+		BackboneLatency:           2 * core.Microsecond,
+		BackboneFatPipe:           true,
+	}
+}
+
+// Gdx returns the spec for the gdx cluster: 312 nodes (2.0 GHz dual-proc
+// Opteron 246), two cabinets per switch (modelled as 18 switch groups),
+// 1 Gigabit links everywhere including the uplinks to the single
+// second-level switch.
+func Gdx() ClusterSpec {
+	groups := make([]int, 18)
+	remaining := 312
+	for i := range groups {
+		n := 17
+		if i < 312-17*18 { // distribute the remainder
+			n++
+		}
+		groups[i] = n
+		remaining -= n
+	}
+	_ = remaining
+	return ClusterSpec{
+		Name:                      "gdx",
+		Cabinets:                  groups,
+		NodeSpeed:                 0.8e9, // slower nodes than griffon
+		NodeLinkBandwidth:         125e6,
+		NodeLinkLatency:           25 * core.Microsecond,
+		CabinetBackplaneBandwidth: 1e9,
+		CabinetBackplaneLatency:   3 * core.Microsecond,
+		UplinkBandwidth:           125e6,
+		UplinkLatency:             5 * core.Microsecond,
+		BackboneBandwidth:         1.25e9,
+		BackboneLatency:           3 * core.Microsecond,
+		BackboneFatPipe:           true,
+	}
+}

@@ -1,0 +1,154 @@
+// Package platform describes simulated target platforms: hosts with a
+// compute speed, network links with bandwidth and latency, and routes
+// between host pairs. It mirrors the role of SimGrid's platform layer that
+// SMPI simulations take as input (paper Section 6).
+//
+// The package also provides a hierarchical cluster builder matching the
+// Grid'5000 machines used in the paper's evaluation — griffon (92 nodes in
+// 3 cabinets behind a 10 Gbps second-level switch) and gdx (312 nodes, two
+// cabinets per switch, 1 Gbps links throughout) — and an XML serialization
+// of cluster descriptions in the spirit of SimGrid's DTD.
+package platform
+
+import (
+	"fmt"
+
+	"smpigo/internal/core"
+	"smpigo/internal/lmm"
+)
+
+// Host is a compute node of the target platform.
+type Host struct {
+	// ID is the dense index of the host inside its platform.
+	ID int
+	// Name is the unique host name, e.g. "griffon-12".
+	Name string
+	// Speed is the compute speed in flop/s, used to convert flop amounts
+	// into delays and to scale timings between host and target nodes.
+	Speed float64
+	// Cabinet is the index of the cabinet (switch group) holding the node,
+	// -1 when the platform is not cabinet-structured.
+	Cabinet int
+}
+
+// Link is a network resource with a capacity and a traversal latency.
+type Link struct {
+	// ID is the dense index of the link inside its platform.
+	ID int
+	// Name is the unique link name, e.g. "griffon-up-12".
+	Name string
+	// Bandwidth is the link capacity in bytes per second.
+	Bandwidth float64
+	// Latency is the time a byte takes to traverse the link.
+	Latency core.Duration
+	// Policy selects contention behaviour: Shared links divide Bandwidth
+	// among crossing flows; FatPipe links cap each flow individually.
+	Policy lmm.SharingPolicy
+}
+
+// Route is an ordered list of links connecting two hosts, with the
+// aggregate latency precomputed.
+type Route struct {
+	Links   []*Link
+	Latency core.Duration
+}
+
+// Bottleneck returns the smallest link bandwidth along the route, which is
+// the reference bandwidth B0 the piece-wise linear model factors multiply.
+func (r Route) Bottleneck() float64 {
+	if len(r.Links) == 0 {
+		return 0
+	}
+	min := r.Links[0].Bandwidth
+	for _, l := range r.Links[1:] {
+		if l.Bandwidth < min {
+			min = l.Bandwidth
+		}
+	}
+	return min
+}
+
+// Platform is a set of hosts, links, and a routing function.
+type Platform struct {
+	Name  string
+	hosts []*Host
+	links []*Link
+
+	byName map[string]*Host
+	// router computes the route between two distinct hosts. The cluster
+	// builder installs a hierarchical router; hand-built platforms use
+	// explicit pair routes instead.
+	router func(a, b *Host) Route
+	pairs  map[[2]int]Route
+}
+
+// New returns an empty platform.
+func New(name string) *Platform {
+	return &Platform{Name: name, byName: make(map[string]*Host), pairs: make(map[[2]int]Route)}
+}
+
+// AddHost creates a host. Host names must be unique.
+func (p *Platform) AddHost(name string, speed float64) *Host {
+	if _, dup := p.byName[name]; dup {
+		panic(fmt.Sprintf("platform: duplicate host %q", name))
+	}
+	h := &Host{ID: len(p.hosts), Name: name, Speed: speed, Cabinet: -1}
+	p.hosts = append(p.hosts, h)
+	p.byName[name] = h
+	return h
+}
+
+// AddLink creates a link.
+func (p *Platform) AddLink(name string, bandwidth float64, latency core.Duration, policy lmm.SharingPolicy) *Link {
+	l := &Link{ID: len(p.links), Name: name, Bandwidth: bandwidth, Latency: latency, Policy: policy}
+	p.links = append(p.links, l)
+	return l
+}
+
+// AddRoute installs a symmetric route between two hosts (used by hand-built
+// platforms; cluster platforms use the built-in hierarchical router).
+func (p *Platform) AddRoute(a, b *Host, links []*Link) {
+	r := Route{Links: links}
+	for _, l := range links {
+		r.Latency += l.Latency
+	}
+	p.pairs[[2]int{a.ID, b.ID}] = r
+	rev := Route{Links: reversed(links), Latency: r.Latency}
+	p.pairs[[2]int{b.ID, a.ID}] = rev
+}
+
+func reversed(links []*Link) []*Link {
+	out := make([]*Link, len(links))
+	for i, l := range links {
+		out[len(links)-1-i] = l
+	}
+	return out
+}
+
+// Hosts returns all hosts in ID order.
+func (p *Platform) Hosts() []*Host { return p.hosts }
+
+// Links returns all links in ID order.
+func (p *Platform) Links() []*Link { return p.links }
+
+// Host returns the host with the given name, or nil.
+func (p *Platform) Host(name string) *Host { return p.byName[name] }
+
+// HostByID returns the host with the given dense ID.
+func (p *Platform) HostByID(id int) *Host { return p.hosts[id] }
+
+// Route returns the route from a to b. Routing a host to itself returns an
+// empty route (loopback communications are instantaneous at the network
+// level; memory-copy costs belong to the MPI layer).
+func (p *Platform) Route(a, b *Host) Route {
+	if a == b {
+		return Route{}
+	}
+	if r, ok := p.pairs[[2]int{a.ID, b.ID}]; ok {
+		return r
+	}
+	if p.router != nil {
+		return p.router(a, b)
+	}
+	panic(fmt.Sprintf("platform: no route between %q and %q", a.Name, b.Name))
+}

@@ -1,0 +1,159 @@
+package platform
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"smpigo/internal/core"
+)
+
+// The XML schema follows the spirit of SimGrid's platform DTD, compressed
+// to the <cluster> element that SMPI platform files actually use:
+//
+//	<platform version="1">
+//	  <cluster id="griffon" speed="1Gf" cabinets="33,27,32"
+//	           bw="1Gbps" lat="20us"
+//	           uplink_bw="10Gbps" uplink_lat="4us"
+//	           bb_bw="10Gbps" bb_lat="2us" bb_sharing="FATPIPE"/>
+//	</platform>
+
+type xmlPlatform struct {
+	XMLName  xml.Name     `xml:"platform"`
+	Version  string       `xml:"version,attr"`
+	Clusters []xmlCluster `xml:"cluster"`
+}
+
+type xmlCluster struct {
+	ID        string `xml:"id,attr"`
+	Speed     string `xml:"speed,attr"`
+	Cabinets  string `xml:"cabinets,attr"`
+	BW        string `xml:"bw,attr"`
+	Lat       string `xml:"lat,attr"`
+	BpBW      string `xml:"bp_bw,attr"`
+	BpLat     string `xml:"bp_lat,attr"`
+	UplinkBW  string `xml:"uplink_bw,attr"`
+	UplinkLat string `xml:"uplink_lat,attr"`
+	BBBW      string `xml:"bb_bw,attr"`
+	BBLat     string `xml:"bb_lat,attr"`
+	BBSharing string `xml:"bb_sharing,attr"`
+}
+
+// WriteXML serializes one or more cluster specs as a platform file.
+func WriteXML(w io.Writer, specs ...ClusterSpec) error {
+	doc := xmlPlatform{Version: "1"}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		cabinets := make([]string, len(s.Cabinets))
+		for i, c := range s.Cabinets {
+			cabinets[i] = strconv.Itoa(c)
+		}
+		sharing := "SHARED"
+		if s.BackboneFatPipe {
+			sharing = "FATPIPE"
+		}
+		doc.Clusters = append(doc.Clusters, xmlCluster{
+			ID:        s.Name,
+			Speed:     fmt.Sprintf("%gf", s.NodeSpeed),
+			Cabinets:  strings.Join(cabinets, ","),
+			BW:        fmt.Sprintf("%gBps", s.NodeLinkBandwidth),
+			Lat:       fmt.Sprintf("%gs", float64(s.NodeLinkLatency)),
+			BpBW:      fmt.Sprintf("%gBps", s.CabinetBackplaneBandwidth),
+			BpLat:     fmt.Sprintf("%gs", float64(s.CabinetBackplaneLatency)),
+			UplinkBW:  fmt.Sprintf("%gBps", s.UplinkBandwidth),
+			UplinkLat: fmt.Sprintf("%gs", float64(s.UplinkLatency)),
+			BBBW:      fmt.Sprintf("%gBps", s.BackboneBandwidth),
+			BBLat:     fmt.Sprintf("%gs", float64(s.BackboneLatency)),
+			BBSharing: sharing,
+		})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadXML parses a platform file and returns the cluster specs it declares.
+func ReadXML(r io.Reader) ([]ClusterSpec, error) {
+	var doc xmlPlatform
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("platform xml: %w", err)
+	}
+	var specs []ClusterSpec
+	for _, c := range doc.Clusters {
+		spec, err := c.toSpec()
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("platform xml: no <cluster> element")
+	}
+	return specs, nil
+}
+
+func (c xmlCluster) toSpec() (ClusterSpec, error) {
+	var spec ClusterSpec
+	var err error
+	fail := func(field string, e error) (ClusterSpec, error) {
+		return ClusterSpec{}, fmt.Errorf("cluster %q: attribute %s: %w", c.ID, field, e)
+	}
+	spec.Name = c.ID
+	if spec.NodeSpeed, err = core.ParseFlops(c.Speed); err != nil {
+		return fail("speed", err)
+	}
+	for _, part := range strings.Split(c.Cabinets, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fail("cabinets", err)
+		}
+		spec.Cabinets = append(spec.Cabinets, n)
+	}
+	if spec.NodeLinkBandwidth, err = core.ParseRate(c.BW); err != nil {
+		return fail("bw", err)
+	}
+	if spec.NodeLinkLatency, err = core.ParseDuration(c.Lat); err != nil {
+		return fail("lat", err)
+	}
+	if spec.CabinetBackplaneBandwidth, err = core.ParseRate(c.BpBW); err != nil {
+		return fail("bp_bw", err)
+	}
+	if spec.CabinetBackplaneLatency, err = core.ParseDuration(c.BpLat); err != nil {
+		return fail("bp_lat", err)
+	}
+	if spec.UplinkBandwidth, err = core.ParseRate(c.UplinkBW); err != nil {
+		return fail("uplink_bw", err)
+	}
+	if spec.UplinkLatency, err = core.ParseDuration(c.UplinkLat); err != nil {
+		return fail("uplink_lat", err)
+	}
+	if spec.BackboneBandwidth, err = core.ParseRate(c.BBBW); err != nil {
+		return fail("bb_bw", err)
+	}
+	if spec.BackboneLatency, err = core.ParseDuration(c.BBLat); err != nil {
+		return fail("bb_lat", err)
+	}
+	switch strings.ToUpper(strings.TrimSpace(c.BBSharing)) {
+	case "", "SHARED":
+		spec.BackboneFatPipe = false
+	case "FATPIPE":
+		spec.BackboneFatPipe = true
+	default:
+		return fail("bb_sharing", fmt.Errorf("unknown policy %q", c.BBSharing))
+	}
+	if err := spec.Validate(); err != nil {
+		return ClusterSpec{}, err
+	}
+	return spec, nil
+}

@@ -1,0 +1,81 @@
+// Package replay is the off-line simulator: it re-enacts a recorded trace
+// (package trace) on a simulated platform, the "trace-based / post-mortem"
+// approach of the simulators reviewed in the paper's Section 2. Each rank
+// interprets its recorded program — compute bursts become delays, sends and
+// receives become real point-to-point operations — through the same smpi
+// machinery, so replayed communications experience the full network model,
+// contention included.
+//
+// This is the baseline the paper argues against: a replay is faithful only
+// as long as the application's behaviour does not depend on the platform
+// (no data-dependent communication, fixed schedules), whereas the on-line
+// simulator re-executes the real code.
+package replay
+
+import (
+	"fmt"
+
+	"smpigo/internal/smpi"
+	"smpigo/internal/trace"
+)
+
+// Run replays t on the platform/backend described by cfg and returns the
+// simulation report. cfg.Procs and cfg.Tracer are overridden.
+func Run(t *trace.Trace, cfg smpi.Config) (*smpi.Report, error) {
+	if t == nil || t.Procs <= 0 {
+		return nil, fmt.Errorf("replay: empty trace")
+	}
+	if err := validate(t); err != nil {
+		return nil, err
+	}
+	cfg.Procs = t.Procs
+	cfg.Tracer = nil
+	app := func(r *smpi.Rank) {
+		c := r.Comm()
+		var reqs []*smpi.Request
+		for _, ev := range t.Streams[r.Rank()] {
+			switch ev.Kind {
+			case trace.Compute:
+				r.Elapse(ev.Duration)
+			case trace.Isend:
+				reqs = append(reqs, r.Isend(c, make([]byte, ev.Bytes), ev.Peer, ev.Tag))
+			case trace.Irecv:
+				reqs = append(reqs, r.Irecv(c, make([]byte, ev.Bytes), ev.Peer, ev.Tag))
+			case trace.Wait:
+				r.Wait(reqs[ev.Req])
+			}
+		}
+	}
+	return smpi.Run(cfg, app)
+}
+
+// validate checks the structural soundness of a trace before replaying:
+// wait indices must reference issued requests and peers must be in range.
+func validate(t *trace.Trace) error {
+	for rank, stream := range t.Streams {
+		issued := 0
+		for i, ev := range stream {
+			switch ev.Kind {
+			case trace.Isend, trace.Irecv:
+				if ev.Peer < 0 || ev.Peer >= t.Procs {
+					return fmt.Errorf("replay: rank %d event %d: peer %d out of range (unresolved wildcard?)", rank, i, ev.Peer)
+				}
+				if ev.Bytes < 0 {
+					return fmt.Errorf("replay: rank %d event %d: negative size", rank, i)
+				}
+				issued++
+			case trace.Wait:
+				if ev.Req < 0 || ev.Req >= issued {
+					return fmt.Errorf("replay: rank %d event %d: wait on unissued request %d", rank, i, ev.Req)
+				}
+			case trace.Compute:
+				if ev.Duration < 0 {
+					return fmt.Errorf("replay: rank %d event %d: negative burst", rank, i)
+				}
+			default:
+				return fmt.Errorf("replay: rank %d event %d: unknown kind %q", rank, i, ev.Kind)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+// Package sampling implements the two single-node scalability techniques of
+// the paper's Section 3, which in SMPI are exposed as C preprocessor macros
+// and here as library calls keyed by a call-site identifier:
+//
+//   - CPU-burst sampling (SMPI_SAMPLE_LOCAL / SMPI_SAMPLE_GLOBAL /
+//     SMPI_SAMPLE_DELAY): a burst is genuinely executed and timed only its
+//     first n occurrences — per rank (local) or across all ranks (global) —
+//     and afterwards replaced by its mean measured duration; with n = 0 the
+//     burst is never executed and a user-supplied flop amount is charged.
+//
+//   - RAM folding (SMPI_SHARED_MALLOC / SMPI_FREE): because all simulated
+//     ranks live in one address space, m ranks allocating the same logical
+//     array of size s can share a single buffer, cutting the footprint from
+//     m*s to s (technique #1 of [Adve et al. 2002], used by the paper).
+//
+// The package also provides the accounting allocator used to reproduce the
+// paper's Figure 16 (maximum resident set size per process, with and
+// without folding).
+package sampling
+
+import (
+	"fmt"
+	"time"
+
+	"smpigo/internal/core"
+)
+
+// Registry holds sampling and folding state for one simulated world.
+// All access happens from the sequential simulation, so no locking.
+type Registry struct {
+	// Stopwatch returns monotonic wall-clock time; tests may replace it.
+	Stopwatch func() time.Duration
+
+	ranks  int
+	sites  map[string]*site
+	shared map[string]*sharedBuf
+
+	private []int64 // current private bytes per rank
+	peak    []float64
+
+	executed int64 // bursts actually executed (stats)
+	replayed int64 // bursts replaced by a mean delay (stats)
+}
+
+type site struct {
+	remaining int
+	samples   int
+	sum       core.Duration
+}
+
+type sharedBuf struct {
+	data []byte
+	refs int
+}
+
+// NewRegistry creates a registry for a world of the given rank count.
+func NewRegistry(ranks int) *Registry {
+	start := time.Now()
+	return &Registry{
+		Stopwatch: func() time.Duration { return time.Since(start) },
+		ranks:     ranks,
+		sites:     make(map[string]*site),
+		shared:    make(map[string]*sharedBuf),
+		private:   make([]int64, ranks),
+		peak:      make([]float64, ranks),
+	}
+}
+
+// Executed and Replayed report how many bursts ran for real vs. were
+// replaced by a replayed mean delay.
+func (r *Registry) Executed() int64 { return r.executed }
+
+// Replayed reports the number of bursts bypassed and replaced by a delay.
+func (r *Registry) Replayed() int64 { return r.replayed }
+
+// Sample runs one occurrence of the burst identified by key. If fewer than
+// n occurrences have been recorded so far, fn is executed and timed and its
+// wall-clock duration is returned with executed=true; otherwise fn is
+// skipped and the mean of the recorded samples is returned.
+//
+// For SMPI_SAMPLE_LOCAL semantics the caller includes the rank in the key;
+// for SMPI_SAMPLE_GLOBAL it does not, so all ranks feed the same counters
+// (the paper's scalability trick for SPMD applications, Section 3.1).
+func (r *Registry) Sample(key string, n int, fn func()) (d core.Duration, executed bool) {
+	st, ok := r.sites[key]
+	if !ok {
+		st = &site{remaining: n}
+		r.sites[key] = st
+	}
+	if st.remaining > 0 {
+		st.remaining--
+		begin := r.Stopwatch()
+		fn()
+		elapsed := core.Duration(float64(r.Stopwatch()-begin) / float64(time.Second))
+		st.samples++
+		st.sum += elapsed
+		r.executed++
+		return elapsed, true
+	}
+	r.replayed++
+	if st.samples == 0 {
+		return 0, false
+	}
+	return st.sum / core.Duration(st.samples), false
+}
+
+// SiteMean returns the mean recorded duration for a site (0 if none) and
+// the number of samples backing it.
+func (r *Registry) SiteMean(key string) (core.Duration, int) {
+	st, ok := r.sites[key]
+	if !ok || st.samples == 0 {
+		return 0, 0
+	}
+	return st.sum / core.Duration(st.samples), st.samples
+}
+
+// --- RAM folding ---
+
+// SharedMalloc returns the shared buffer for key, allocating it on first
+// use (the SMPI_SHARED_MALLOC macro). All ranks passing the same key and
+// size receive the same backing array. It panics if the same key is
+// requested with a different size.
+func (r *Registry) SharedMalloc(key string, size int) []byte {
+	sb, ok := r.shared[key]
+	if !ok {
+		sb = &sharedBuf{data: make([]byte, size)}
+		r.shared[key] = sb
+	}
+	if len(sb.data) != size {
+		panic(fmt.Sprintf("sampling: SharedMalloc(%q) size mismatch: %d vs %d", key, size, len(sb.data)))
+	}
+	sb.refs++
+	return sb.data
+}
+
+// SharedFree drops one reference to the shared buffer (the SMPI_FREE
+// macro); the buffer is released when the last rank frees it.
+func (r *Registry) SharedFree(key string) {
+	sb, ok := r.shared[key]
+	if !ok {
+		return
+	}
+	sb.refs--
+	if sb.refs <= 0 {
+		delete(r.shared, key)
+	}
+}
+
+// --- accounting allocator (Figure 16 metric) ---
+
+// Malloc allocates a private buffer charged to rank's footprint.
+func (r *Registry) Malloc(rank, size int) []byte {
+	r.private[rank] += int64(size)
+	r.updatePeak(rank)
+	return make([]byte, size)
+}
+
+// Free returns size bytes of rank's private footprint.
+func (r *Registry) Free(rank, size int) {
+	r.private[rank] -= int64(size)
+	if r.private[rank] < 0 {
+		r.private[rank] = 0
+	}
+}
+
+func (r *Registry) sharedBytes() int64 {
+	var total int64
+	for _, sb := range r.shared {
+		total += int64(len(sb.data))
+	}
+	return total
+}
+
+func (r *Registry) updatePeak(rank int) {
+	// A rank's accounted footprint is its private bytes plus its share of
+	// the folded arrays (which exist once for the whole simulation).
+	rss := float64(r.private[rank]) + float64(r.sharedBytes())/float64(r.ranks)
+	if rss > r.peak[rank] {
+		r.peak[rank] = rss
+	}
+}
+
+// TouchAll refreshes the peak metric of every rank; call after SharedMalloc
+// bursts so shared allocations reach the peak accounting.
+func (r *Registry) TouchAll() {
+	for rank := range r.peak {
+		r.updatePeak(rank)
+	}
+}
+
+// MaxPeakRSS returns the maximum per-rank accounted footprint in bytes —
+// the quantity on the y-axis of the paper's Figure 16.
+func (r *Registry) MaxPeakRSS() float64 {
+	max := 0.0
+	for _, p := range r.peak {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}

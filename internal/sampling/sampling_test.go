@@ -1,0 +1,201 @@
+package sampling
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed amount per Stopwatch call pair, making timing
+// deterministic in tests.
+type fakeClock struct {
+	now  time.Duration
+	step time.Duration
+}
+
+func (c *fakeClock) get() time.Duration {
+	c.now += c.step
+	return c.now
+}
+
+func newTestRegistry(ranks int, step time.Duration) *Registry {
+	r := NewRegistry(ranks)
+	c := &fakeClock{step: step}
+	r.Stopwatch = c.get
+	return r
+}
+
+func TestSampleExecutesFirstNTimes(t *testing.T) {
+	r := newTestRegistry(1, time.Millisecond)
+	runs := 0
+	for i := 0; i < 10; i++ {
+		_, executed := r.Sample("site", 3, func() { runs++ })
+		if want := i < 3; executed != want {
+			t.Errorf("occurrence %d: executed=%v, want %v", i, executed, want)
+		}
+	}
+	if runs != 3 {
+		t.Errorf("burst ran %d times, want 3", runs)
+	}
+	if r.Executed() != 3 || r.Replayed() != 7 {
+		t.Errorf("stats executed=%d replayed=%d, want 3/7", r.Executed(), r.Replayed())
+	}
+}
+
+func TestSampleReplaysMean(t *testing.T) {
+	r := newTestRegistry(1, 0)
+	c := &fakeClock{}
+	r.Stopwatch = c.get
+	durations := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	i := 0
+	for ; i < 3; i++ {
+		c.step = durations[i] // elapsed = one step between the two reads
+		r.Sample("s", 3, func() {})
+	}
+	d, executed := r.Sample("s", 3, func() { t.Fatal("must not execute") })
+	if executed {
+		t.Fatal("should have replayed")
+	}
+	want := 0.020
+	if diff := float64(d) - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("replayed mean = %v, want 20ms", d)
+	}
+	mean, n := r.SiteMean("s")
+	if n != 3 || float64(mean) != want {
+		t.Errorf("SiteMean = %v, %d", mean, n)
+	}
+}
+
+func TestSampleZeroNNeverExecutes(t *testing.T) {
+	r := newTestRegistry(1, time.Millisecond)
+	d, executed := r.Sample("s", 0, func() { t.Fatal("n=0 must not execute") })
+	if executed || d != 0 {
+		t.Errorf("n=0 sample: executed=%v d=%v", executed, d)
+	}
+}
+
+func TestLocalVsGlobalKeying(t *testing.T) {
+	// Local sampling keys include the rank: 2 ranks x n=2 executions = 4.
+	// Global sampling shares one site: 2 executions total.
+	r := newTestRegistry(2, time.Millisecond)
+	runs := 0
+	for occurrence := 0; occurrence < 3; occurrence++ {
+		for rank := 0; rank < 2; rank++ {
+			r.Sample(fmt.Sprintf("local@rank%d", rank), 2, func() { runs++ })
+		}
+	}
+	if runs != 4 {
+		t.Errorf("local-keyed runs = %d, want 4", runs)
+	}
+	runs = 0
+	for occurrence := 0; occurrence < 3; occurrence++ {
+		for rank := 0; rank < 2; rank++ {
+			r.Sample("global", 2, func() { runs++ })
+		}
+	}
+	if runs != 2 {
+		t.Errorf("global-keyed runs = %d, want 2", runs)
+	}
+}
+
+func TestSharedMallocFoldsAllocation(t *testing.T) {
+	r := newTestRegistry(4, 0)
+	a := r.SharedMalloc("arr", 1000)
+	b := r.SharedMalloc("arr", 1000)
+	if &a[0] != &b[0] {
+		t.Error("shared buffers should alias")
+	}
+	a[5] = 42
+	if b[5] != 42 {
+		t.Error("writes must be visible through all aliases")
+	}
+}
+
+func TestSharedMallocSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch should panic")
+		}
+	}()
+	r := newTestRegistry(1, 0)
+	r.SharedMalloc("arr", 10)
+	r.SharedMalloc("arr", 20)
+}
+
+func TestSharedFreeRefCounting(t *testing.T) {
+	r := newTestRegistry(2, 0)
+	a := r.SharedMalloc("arr", 100)
+	r.SharedMalloc("arr", 100)
+	a[0] = 7
+	r.SharedFree("arr")
+	// Still referenced: a new request aliases the old data.
+	c := r.SharedMalloc("arr", 100)
+	if c[0] != 7 {
+		t.Error("buffer should survive while referenced")
+	}
+	r.SharedFree("arr")
+	r.SharedFree("arr")
+	d := r.SharedMalloc("arr", 100)
+	if d[0] != 0 {
+		t.Error("after full release a fresh buffer should be allocated")
+	}
+	r.SharedFree("missing") // no-op
+}
+
+func TestAccountingRSSWithoutFolding(t *testing.T) {
+	r := newTestRegistry(4, 0)
+	for rank := 0; rank < 4; rank++ {
+		r.Malloc(rank, 1000)
+	}
+	if got := r.MaxPeakRSS(); got != 1000 {
+		t.Errorf("per-rank RSS = %v, want 1000", got)
+	}
+}
+
+func TestAccountingRSSWithFolding(t *testing.T) {
+	// 4 ranks sharing one 1000-byte array: 250 bytes each.
+	r := newTestRegistry(4, 0)
+	for rank := 0; rank < 4; rank++ {
+		r.SharedMalloc("arr", 1000)
+	}
+	r.TouchAll()
+	if got := r.MaxPeakRSS(); got != 250 {
+		t.Errorf("folded per-rank RSS = %v, want 250", got)
+	}
+}
+
+func TestPeakIsSticky(t *testing.T) {
+	r := newTestRegistry(1, 0)
+	r.Malloc(0, 5000)
+	r.Free(0, 5000)
+	r.Malloc(0, 10)
+	if got := r.MaxPeakRSS(); got != 5000 {
+		t.Errorf("peak = %v, want sticky 5000", got)
+	}
+}
+
+func TestFreeClampsAtZero(t *testing.T) {
+	r := newTestRegistry(1, 0)
+	r.Free(0, 100)
+	r.Malloc(0, 10)
+	if got := r.MaxPeakRSS(); got != 10 {
+		t.Errorf("peak = %v, want 10 (no negative footprint)", got)
+	}
+}
+
+func TestRealStopwatchMeasuresSomething(t *testing.T) {
+	r := NewRegistry(1)
+	d, executed := r.Sample("busy", 1, func() {
+		s := 0.0
+		for i := 0; i < 100000; i++ {
+			s += float64(i)
+		}
+		_ = s
+	})
+	if !executed {
+		t.Fatal("first occurrence must execute")
+	}
+	if d < 0 {
+		t.Errorf("negative duration %v", d)
+	}
+}

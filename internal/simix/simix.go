@@ -1,0 +1,346 @@
+// Package simix implements the sequential simulation kernel that SMPI's
+// design rests on (the paper's Section 5.1): every simulated MPI process is
+// an actor with its own execution context, but actors run strictly one at a
+// time under the control of the kernel, which alone advances simulated time.
+//
+// In the original SMPI, actors are threads multiplexed by SimGrid's SIMIX
+// layer; here each actor is a goroutine that the kernel resumes and that
+// yields back whenever it performs a blocking simulation call. At most one
+// goroutine is ever runnable, so the simulation is deterministic and safe
+// without locks.
+//
+// Resource models (the analytical SURF network/CPU models, or the
+// packet-level testbed emulator) plug in through the Model interface: the
+// kernel asks each model for its next internal completion date, advances
+// the clock to the global minimum, and lets models fulfill the futures that
+// blocked actors are waiting on.
+package simix
+
+import (
+	"fmt"
+	"sort"
+
+	"smpigo/internal/core"
+)
+
+// Model is a pluggable resource model (network, CPU, ...). The kernel calls
+// NextEvent to learn the model's earliest pending completion date
+// (core.TimeForever if none) and Advance to move the model's internal state
+// forward; Advance must fulfill the futures of every activity completing at
+// or before the target date.
+type Model interface {
+	NextEvent() core.Time
+	Advance(to core.Time)
+}
+
+// Future is a one-shot completion handle. Models fulfill futures; actors
+// block on them via Proc.Wait and friends.
+type Future struct {
+	done      bool
+	value     any
+	waiters   []*Actor
+	callbacks []func(any)
+}
+
+// NewFuture returns an unfulfilled future.
+func NewFuture() *Future { return &Future{} }
+
+// Done reports whether the future has been fulfilled.
+func (f *Future) Done() bool { return f.done }
+
+// Value returns the fulfillment value (nil until fulfilled).
+func (f *Future) Value() any { return f.value }
+
+// Actor is a simulated process. Application code never touches Actor
+// directly; it receives a *Proc context instead.
+type Actor struct {
+	ID   int
+	Name string
+
+	kernel *Kernel
+	resume chan struct{}
+	proc   *Proc
+	done   bool
+	queued bool
+}
+
+// Proc is the execution context handed to actor functions. All methods must
+// be called from the actor's own goroutine.
+type Proc struct {
+	actor *Actor
+}
+
+// Kernel drives the simulation: it owns the clock, the actor run queue, the
+// timer queue, and the registered resource models.
+type Kernel struct {
+	now    core.Time
+	models []Model
+	timers core.EventQueue
+
+	actors  []*Actor
+	runq    []*Actor
+	live    int
+	yielded chan struct{}
+	running bool
+	failure error
+	nextID  int
+	maxt    core.Time
+}
+
+// New returns an empty kernel at simulated time zero.
+func New() *Kernel {
+	return &Kernel{yielded: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() core.Time { return k.now }
+
+// AddModel registers a resource model with the kernel.
+func (k *Kernel) AddModel(m Model) { k.models = append(k.models, m) }
+
+// SetDeadline aborts Run with an error if simulated time would pass t.
+// Zero (the default) means no deadline.
+func (k *Kernel) SetDeadline(t core.Time) { k.maxt = t }
+
+// Spawn creates an actor running fn and schedules it. It may be called
+// before Run or from a running actor.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Actor {
+	a := &Actor{
+		ID:     k.nextID,
+		Name:   name,
+		kernel: k,
+		resume: make(chan struct{}),
+	}
+	k.nextID++
+	a.proc = &Proc{actor: a}
+	k.actors = append(k.actors, a)
+	k.live++
+	go func() {
+		<-a.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if k.failure == nil {
+					k.failure = fmt.Errorf("actor %q panicked: %v", a.Name, r)
+				}
+			}
+			a.done = true
+			k.live--
+			k.yielded <- struct{}{}
+		}()
+		fn(a.proc)
+	}()
+	k.enqueue(a)
+	return a
+}
+
+func (k *Kernel) enqueue(a *Actor) {
+	if a.queued || a.done {
+		return
+	}
+	a.queued = true
+	k.runq = append(k.runq, a)
+}
+
+// Fulfill completes f with value, waking every actor blocked on it. It is
+// safe to call from models (between scheduling rounds) and from actors
+// (the awakened actor runs later in the same round).
+func (k *Kernel) Fulfill(f *Future, value any) {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.value = value
+	for _, a := range f.waiters {
+		k.enqueue(a)
+	}
+	f.waiters = nil
+	cbs := f.callbacks
+	f.callbacks = nil
+	for _, cb := range cbs {
+		cb(value)
+	}
+}
+
+// OnFulfill registers fn to run when f is fulfilled (immediately if it
+// already is). Callbacks run synchronously inside Fulfill, at the fulfilled
+// simulated date; they may fulfill other futures or start new activities.
+func (k *Kernel) OnFulfill(f *Future, fn func(value any)) {
+	if f.done {
+		fn(f.value)
+		return
+	}
+	f.callbacks = append(f.callbacks, fn)
+}
+
+// FulfillAt schedules f to be fulfilled with value at absolute date t,
+// using the kernel's built-in timer queue.
+func (k *Kernel) FulfillAt(f *Future, value any, t core.Time) {
+	if t < k.now {
+		t = k.now
+	}
+	k.timers.Push(t, timerEntry{f: f, value: value})
+}
+
+type timerEntry struct {
+	f     *Future
+	value any
+}
+
+// Run executes the simulation until every actor has terminated. It returns
+// an error if an actor panicked, if the deadline was exceeded, or if live
+// actors remain but no model has a pending event (deadlock).
+func (k *Kernel) Run() (err error) {
+	if k.running {
+		return fmt.Errorf("simix: kernel already running")
+	}
+	k.running = true
+	defer func() {
+		k.running = false
+		// Panics raised outside actor goroutines (model code, completion
+		// callbacks) surface as errors rather than crashing the caller.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("simix: kernel panicked: %v", r)
+		}
+	}()
+
+	for {
+		// Scheduling round: run every ready actor, one at a time.
+		for len(k.runq) > 0 {
+			a := k.runq[0]
+			k.runq = k.runq[1:]
+			a.queued = false
+			if a.done {
+				continue
+			}
+			a.resume <- struct{}{}
+			<-k.yielded
+			if k.failure != nil {
+				return k.failure
+			}
+		}
+
+		if k.live == 0 {
+			return nil
+		}
+
+		// All actors are blocked: advance time to the next event.
+		next := core.TimeForever
+		if e := k.timers.Peek(); e != nil && e.At < next {
+			next = e.At
+		}
+		for _, m := range k.models {
+			if t := m.NextEvent(); t < next {
+				next = t
+			}
+		}
+		if next == core.TimeForever {
+			return k.deadlockError()
+		}
+		if k.maxt > 0 && next > k.maxt {
+			return fmt.Errorf("simix: simulated time %v exceeds deadline %v", next, k.maxt)
+		}
+		if next < k.now {
+			return fmt.Errorf("simix: model scheduled event in the past (%v < %v)", next, k.now)
+		}
+		k.now = next
+
+		for {
+			e := k.timers.Peek()
+			if e == nil || e.At > k.now {
+				break
+			}
+			k.timers.Pop()
+			te := e.Payload.(timerEntry)
+			k.Fulfill(te.f, te.value)
+		}
+		for _, m := range k.models {
+			m.Advance(k.now)
+		}
+	}
+}
+
+func (k *Kernel) deadlockError() error {
+	var blocked []string
+	for _, a := range k.actors {
+		if !a.done {
+			blocked = append(blocked, a.Name)
+		}
+	}
+	sort.Strings(blocked)
+	return fmt.Errorf("simix: deadlock, %d actor(s) blocked forever: %v", len(blocked), blocked)
+}
+
+// --- Proc (actor-side) API ---
+
+// yield suspends the actor and returns control to the kernel.
+func (p *Proc) yield() {
+	p.actor.kernel.yielded <- struct{}{}
+	<-p.actor.resume
+}
+
+// Kernel returns the kernel this actor belongs to.
+func (p *Proc) Kernel() *Kernel { return p.actor.kernel }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() core.Time { return p.actor.kernel.now }
+
+// Name returns the actor's name.
+func (p *Proc) Name() string { return p.actor.Name }
+
+// Yield lets other ready actors run before this one continues; simulated
+// time does not advance. Mainly useful in tests and fairness-sensitive code.
+func (p *Proc) Yield() {
+	p.actor.kernel.enqueue(p.actor)
+	p.yield()
+}
+
+// Wait blocks until f is fulfilled and returns its value.
+func (p *Proc) Wait(f *Future) any {
+	for !f.done {
+		f.waiters = append(f.waiters, p.actor)
+		p.yield()
+	}
+	return f.value
+}
+
+// WaitAny blocks until at least one future in fs is fulfilled and returns
+// the index of the first fulfilled one (lowest index wins) plus its value.
+// It panics if fs is empty.
+func (p *Proc) WaitAny(fs []*Future) (int, any) {
+	if len(fs) == 0 {
+		panic("simix: WaitAny on empty set")
+	}
+	for {
+		for i, f := range fs {
+			if f != nil && f.done {
+				return i, f.value
+			}
+		}
+		for _, f := range fs {
+			if f != nil {
+				f.waiters = append(f.waiters, p.actor)
+			}
+		}
+		p.yield()
+	}
+}
+
+// WaitAll blocks until every non-nil future in fs is fulfilled.
+func (p *Proc) WaitAll(fs []*Future) {
+	for _, f := range fs {
+		if f != nil {
+			p.Wait(f)
+		}
+	}
+}
+
+// Sleep suspends the actor for the given simulated duration.
+func (p *Proc) Sleep(d core.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	f := NewFuture()
+	k := p.actor.kernel
+	k.FulfillAt(f, nil, k.now+d)
+	p.Wait(f)
+}

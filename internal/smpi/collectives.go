@@ -1,0 +1,628 @@
+package smpi
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Algorithms selects the implementation variant of each collective. As in
+// MPICH2/OpenMPI (paper Section 5.3), no variant is universally best; SMPI
+// originally shipped one per operation and planned multiple — this
+// reproduction provides the main alternatives so the choice can be studied
+// (see the ablation benchmarks).
+type Algorithms struct {
+	// Bcast: "binomial" (default) or "flat".
+	Bcast string
+	// Scatter: "binomial" (default, the paper's Figure 6 tree) or "flat".
+	Scatter string
+	// Gather: "binomial" (default) or "flat".
+	Gather string
+	// Allgather: "ring" (default) or "gather-bcast".
+	Allgather string
+	// Alltoall: "pairwise" (default, the paper's Figure 10), "bruck"
+	// (log-step algorithm, better for small messages), or "flat".
+	Alltoall string
+	// Reduce: "binomial" (default) or "flat".
+	Reduce string
+	// Allreduce: "recursive-doubling" (default; falls back to
+	// reduce+bcast for non-power-of-two sizes) or "reduce-bcast".
+	Allreduce string
+	// Barrier: "dissemination" (default) or "tree".
+	Barrier string
+}
+
+func (a *Algorithms) fillDefaults() {
+	def := func(s *string, v string) {
+		if *s == "" {
+			*s = v
+		}
+	}
+	def(&a.Bcast, "binomial")
+	def(&a.Scatter, "binomial")
+	def(&a.Gather, "binomial")
+	def(&a.Allgather, "ring")
+	def(&a.Alltoall, "pairwise")
+	def(&a.Reduce, "binomial")
+	def(&a.Allreduce, "recursive-doubling")
+	def(&a.Barrier, "dissemination")
+}
+
+// Reserved internal tags. Collectives on the same communicator execute in
+// the same order on every rank (an MPI requirement), so one tag per
+// operation type suffices given non-overtaking point-to-point matching.
+const (
+	tagBarrier = -(100 + iota)
+	tagBcast
+	tagScatter
+	tagGather
+	tagAllgather
+	tagAlltoall
+	tagReduce
+	tagAllreduce
+	tagScan
+	tagReduceScatter
+)
+
+func badAlgo(op, algo string) {
+	panic(fmt.Sprintf("smpi: unknown %s algorithm %q", op, algo))
+}
+
+// Bcast broadcasts root's buf to every rank (MPI_Bcast).
+func (c *Comm) Bcast(r *Rank, buf []byte, root int) {
+	switch c.w.cfg.Algorithms.Bcast {
+	case "binomial":
+		c.bcastBinomial(r, buf, root, tagBcast)
+	case "flat":
+		me := c.mustRank(r)
+		if me == root {
+			reqs := make([]*Request, 0, c.Size()-1)
+			for dst := 0; dst < c.Size(); dst++ {
+				if dst != root {
+					reqs = append(reqs, r.Isend(c, buf, dst, tagBcast))
+				}
+			}
+			r.WaitAll(reqs)
+		} else {
+			r.Recv(c, buf, root, tagBcast)
+		}
+	default:
+		badAlgo("bcast", c.w.cfg.Algorithms.Bcast)
+	}
+}
+
+// bcastBinomial is the classic binomial-tree broadcast used by MPICH2.
+func (c *Comm) bcastBinomial(r *Rank, buf []byte, root, tag int) {
+	me, p := c.mustRank(r), c.Size()
+	rel := (me - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (rel - mask + root + p) % p
+			r.Recv(c, buf, src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < p {
+			dst := (rel + mask + root) % p
+			r.Send(c, buf, dst, tag)
+		}
+		mask >>= 1
+	}
+}
+
+// Barrier blocks until every rank of the communicator has entered it
+// (MPI_Barrier).
+func (c *Comm) Barrier(r *Rank) {
+	switch c.w.cfg.Algorithms.Barrier {
+	case "dissemination":
+		me, p := c.mustRank(r), c.Size()
+		if p == 1 {
+			return
+		}
+		var empty []byte
+		for step := 1; step < p; step <<= 1 {
+			dst := (me + step) % p
+			src := (me - step + p) % p
+			r.Sendrecv(c, empty, dst, tagBarrier, nil, src, tagBarrier)
+		}
+	case "tree":
+		// Gather-to-0 then broadcast, both binomial, with empty payloads.
+		c.reduceBinomial(r, nil, nil, Byte, OpSum, 0, tagBarrier)
+		c.bcastBinomial(r, nil, 0, tagBarrier)
+	default:
+		badAlgo("barrier", c.w.cfg.Algorithms.Barrier)
+	}
+}
+
+// Scatter distributes equal chunks of root's sendbuf: rank i receives
+// chunk i into recvbuf (MPI_Scatter). len(sendbuf) must equal
+// Size()*len(recvbuf) on the root and is ignored elsewhere.
+func (c *Comm) Scatter(r *Rank, sendbuf, recvbuf []byte, root int) {
+	p := c.Size()
+	me := c.mustRank(r)
+	bs := len(recvbuf)
+	if me == root && len(sendbuf) != p*bs {
+		panic(fmt.Sprintf("smpi: Scatter sendbuf %d bytes, want %d*%d", len(sendbuf), p, bs))
+	}
+	switch c.w.cfg.Algorithms.Scatter {
+	case "binomial":
+		c.scatterBinomial(r, sendbuf, recvbuf, root)
+	case "flat":
+		if me == root {
+			reqs := make([]*Request, 0, p-1)
+			for dst := 0; dst < p; dst++ {
+				chunk := sendbuf[dst*bs : (dst+1)*bs]
+				if dst == root {
+					copy(recvbuf, chunk)
+					continue
+				}
+				reqs = append(reqs, r.Isend(c, chunk, dst, tagScatter))
+			}
+			r.WaitAll(reqs)
+		} else {
+			r.Recv(c, recvbuf, root, tagScatter)
+		}
+	default:
+		badAlgo("scatter", c.w.cfg.Algorithms.Scatter)
+	}
+}
+
+// scatterBinomial is MPICH2's binomial-tree scatter — the algorithm of the
+// paper's Figure 6, where process 0 forwards 8 chunks to process 8, 4 to
+// process 4, and so on. Data volumes halve at each tree level.
+func (c *Comm) scatterBinomial(r *Rank, sendbuf, recvbuf []byte, root int) {
+	me, p := c.mustRank(r), c.Size()
+	bs := len(recvbuf)
+	rel := (me - root + p) % p
+
+	var tmp []byte // holds chunks [rel, rel+cnt) in relative order
+	var mask int
+	if rel == 0 {
+		if root == 0 {
+			tmp = sendbuf // relative order == world order: no rotation copy
+		} else {
+			// Rotate so the chunk of relative rank j sits at offset j.
+			tmp = make([]byte, p*bs)
+			for j := 0; j < p; j++ {
+				world := (j + root) % p
+				copy(tmp[j*bs:(j+1)*bs], sendbuf[world*bs:(world+1)*bs])
+			}
+		}
+		mask = 1
+		for mask < p {
+			mask <<= 1
+		}
+	} else {
+		mask = 1
+		for mask < p {
+			if rel&mask != 0 {
+				src := (me - mask + p) % p
+				cnt := min(mask, p-rel)
+				tmp = make([]byte, cnt*bs)
+				r.Recv(c, tmp, src, tagScatter)
+				break
+			}
+			mask <<= 1
+		}
+	}
+	// Subtree chunks are pushed with non-blocking sends so the transfers
+	// to all children proceed concurrently — this is what makes network
+	// contention matter for the scatter of the paper's Figure 7.
+	var reqs []*Request
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < p {
+			dst := (me + mask) % p
+			cnt := min(mask, p-(rel+mask))
+			reqs = append(reqs, r.Isend(c, tmp[mask*bs:(mask+cnt)*bs], dst, tagScatter))
+		}
+	}
+	r.WaitAll(reqs)
+	copy(recvbuf, tmp[:bs])
+}
+
+// Gather collects equal chunks from every rank into root's recvbuf, rank
+// i's contribution landing at chunk i (MPI_Gather).
+func (c *Comm) Gather(r *Rank, sendbuf, recvbuf []byte, root int) {
+	me, p := c.mustRank(r), c.Size()
+	bs := len(sendbuf)
+	if me == root && len(recvbuf) != p*bs {
+		panic(fmt.Sprintf("smpi: Gather recvbuf %d bytes, want %d*%d", len(recvbuf), p, bs))
+	}
+	switch c.w.cfg.Algorithms.Gather {
+	case "binomial":
+		c.gatherBinomial(r, sendbuf, recvbuf, root)
+	case "flat":
+		if me == root {
+			reqs := make([]*Request, 0, p-1)
+			for src := 0; src < p; src++ {
+				chunk := recvbuf[src*bs : (src+1)*bs]
+				if src == root {
+					copy(chunk, sendbuf)
+					continue
+				}
+				reqs = append(reqs, r.Irecv(c, chunk, src, tagGather))
+			}
+			r.WaitAll(reqs)
+		} else {
+			r.Send(c, sendbuf, root, tagGather)
+		}
+	default:
+		badAlgo("gather", c.w.cfg.Algorithms.Gather)
+	}
+}
+
+// gatherBinomial mirrors scatterBinomial: subtree data flows towards the
+// root, doubling in volume at each level.
+func (c *Comm) gatherBinomial(r *Rank, sendbuf, recvbuf []byte, root int) {
+	me, p := c.mustRank(r), c.Size()
+	bs := len(sendbuf)
+	rel := (me - root + p) % p
+
+	subtree := min(subtreeSize(rel, p), p-rel)
+	tmp := make([]byte, subtree*bs)
+	copy(tmp[:bs], sendbuf)
+
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			dst := (me - mask + p) % p
+			r.Send(c, tmp, dst, tagGather)
+			break
+		}
+		srcRel := rel + mask
+		if srcRel < p {
+			cnt := min(subtreeSize(srcRel, p), p-srcRel)
+			r.Recv(c, tmp[mask*bs:(mask+cnt)*bs], (me+mask)%p, tagGather)
+		}
+		mask <<= 1
+	}
+	if rel == 0 {
+		for j := 0; j < p; j++ {
+			world := (j + root) % p
+			copy(recvbuf[world*bs:(world+1)*bs], tmp[j*bs:(j+1)*bs])
+		}
+	}
+}
+
+// subtreeSize returns the number of relative ranks in the binomial subtree
+// rooted at rel (unclamped; callers clamp with p-rel).
+func subtreeSize(rel, p int) int {
+	if rel == 0 {
+		return p
+	}
+	// The subtree of a node equals the value of its lowest set bit.
+	return rel & (-rel)
+}
+
+// Allgather concatenates every rank's sendbuf into everyone's recvbuf
+// (MPI_Allgather). len(recvbuf) must be Size()*len(sendbuf).
+func (c *Comm) Allgather(r *Rank, sendbuf, recvbuf []byte) {
+	me, p := c.mustRank(r), c.Size()
+	bs := len(sendbuf)
+	if len(recvbuf) != p*bs {
+		panic(fmt.Sprintf("smpi: Allgather recvbuf %d bytes, want %d*%d", len(recvbuf), p, bs))
+	}
+	switch c.w.cfg.Algorithms.Allgather {
+	case "ring":
+		copy(recvbuf[me*bs:(me+1)*bs], sendbuf)
+		if p == 1 {
+			return
+		}
+		right := (me + 1) % p
+		left := (me - 1 + p) % p
+		for step := 0; step < p-1; step++ {
+			sendIdx := (me - step + p) % p
+			recvIdx := (me - step - 1 + p) % p
+			r.Sendrecv(c,
+				recvbuf[sendIdx*bs:(sendIdx+1)*bs], right, tagAllgather,
+				recvbuf[recvIdx*bs:(recvIdx+1)*bs], left, tagAllgather)
+		}
+	case "gather-bcast":
+		c.Gather(r, sendbuf, recvbuf, 0)
+		c.Bcast(r, recvbuf, 0)
+	default:
+		badAlgo("allgather", c.w.cfg.Algorithms.Allgather)
+	}
+}
+
+// Alltoall exchanges equal blocks between all pairs: the i-th block of
+// sendbuf goes to rank i, which stores it as its j-th received block
+// (MPI_Alltoall). Both buffers hold Size() blocks.
+func (c *Comm) Alltoall(r *Rank, sendbuf, recvbuf []byte) {
+	me, p := c.mustRank(r), c.Size()
+	if len(sendbuf) != len(recvbuf) || len(sendbuf)%p != 0 {
+		panic(fmt.Sprintf("smpi: Alltoall buffers %d/%d bytes for %d ranks", len(sendbuf), len(recvbuf), p))
+	}
+	bs := len(sendbuf) / p
+	switch c.w.cfg.Algorithms.Alltoall {
+	case "pairwise":
+		// The paper's Figure 10: P steps; at step k each process exchanges
+		// with one distinct partner (including itself at step 0).
+		copy(recvbuf[me*bs:(me+1)*bs], sendbuf[me*bs:(me+1)*bs])
+		for step := 1; step < p; step++ {
+			dst := (me + step) % p
+			src := (me - step + p) % p
+			r.Sendrecv(c,
+				sendbuf[dst*bs:(dst+1)*bs], dst, tagAlltoall,
+				recvbuf[src*bs:(src+1)*bs], src, tagAlltoall)
+		}
+	case "bruck":
+		c.alltoallBruck(r, sendbuf, recvbuf, bs)
+	case "flat":
+		reqs := make([]*Request, 0, 2*(p-1))
+		for peer := 0; peer < p; peer++ {
+			if peer == me {
+				copy(recvbuf[me*bs:(me+1)*bs], sendbuf[me*bs:(me+1)*bs])
+				continue
+			}
+			reqs = append(reqs, r.Irecv(c, recvbuf[peer*bs:(peer+1)*bs], peer, tagAlltoall))
+		}
+		for peer := 0; peer < p; peer++ {
+			if peer != me {
+				reqs = append(reqs, r.Isend(c, sendbuf[peer*bs:(peer+1)*bs], peer, tagAlltoall))
+			}
+		}
+		r.WaitAll(reqs)
+	default:
+		badAlgo("alltoall", c.w.cfg.Algorithms.Alltoall)
+	}
+}
+
+// alltoallBruck is the log-step Bruck (1997) algorithm used by MPICH2 and
+// OpenMPI for small messages: ceil(log2 P) rounds, each moving the blocks
+// whose rotated index has bit k set, followed by a local inversion.
+func (c *Comm) alltoallBruck(r *Rank, sendbuf, recvbuf []byte, bs int) {
+	me, p := c.mustRank(r), c.Size()
+	// Phase 1: local rotation — block j of tmp is the block for rank
+	// (me+j) mod p.
+	tmp := make([]byte, p*bs)
+	for j := 0; j < p; j++ {
+		src := (me + j) % p
+		copy(tmp[j*bs:(j+1)*bs], sendbuf[src*bs:(src+1)*bs])
+	}
+	// Phase 2: log-step exchanges.
+	scratch := make([]byte, p*bs)
+	for k := 1; k < p; k <<= 1 {
+		dst := (me + k) % p
+		src := (me - k + p) % p
+		// Pack the blocks whose index has bit k set.
+		n := 0
+		for j := 0; j < p; j++ {
+			if j&k != 0 {
+				copy(scratch[n*bs:(n+1)*bs], tmp[j*bs:(j+1)*bs])
+				n++
+			}
+		}
+		rq := r.Irecv(c, scratch[n*bs:2*n*bs], src, tagAlltoall)
+		r.Send(c, scratch[:n*bs], dst, tagAlltoall)
+		r.Wait(rq)
+		// Unpack received blocks into the same positions.
+		m := 0
+		for j := 0; j < p; j++ {
+			if j&k != 0 {
+				copy(tmp[j*bs:(j+1)*bs], scratch[(n+m)*bs:(n+m+1)*bs])
+				m++
+			}
+		}
+	}
+	// Phase 3: final inversion — tmp block j holds the block from rank
+	// (me-j) mod p.
+	for j := 0; j < p; j++ {
+		src := (me - j + p) % p
+		copy(recvbuf[src*bs:(src+1)*bs], tmp[j*bs:(j+1)*bs])
+	}
+}
+
+// Reduce combines every rank's sendbuf with op, leaving the result in
+// root's recvbuf (MPI_Reduce).
+func (c *Comm) Reduce(r *Rank, sendbuf, recvbuf []byte, dt Datatype, op Op, root int) {
+	switch c.w.cfg.Algorithms.Reduce {
+	case "binomial":
+		c.reduceBinomial(r, sendbuf, recvbuf, dt, op, root, tagReduce)
+	case "flat":
+		me, p := c.mustRank(r), c.Size()
+		if me == root {
+			acc := clone(sendbuf)
+			scratch := make([]byte, len(sendbuf))
+			for src := 0; src < p; src++ {
+				if src == root {
+					continue
+				}
+				r.Recv(c, scratch, src, tagReduce)
+				op.Apply(acc, scratch, dt)
+			}
+			copy(recvbuf, acc)
+		} else {
+			r.Send(c, sendbuf, root, tagReduce)
+		}
+	default:
+		badAlgo("reduce", c.w.cfg.Algorithms.Reduce)
+	}
+}
+
+// reduceBinomial combines up a binomial tree (commutative operators).
+func (c *Comm) reduceBinomial(r *Rank, sendbuf, recvbuf []byte, dt Datatype, op Op, root, tag int) {
+	me, p := c.mustRank(r), c.Size()
+	rel := (me - root + p) % p
+	acc := clone(sendbuf)
+	scratch := make([]byte, len(sendbuf))
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			dst := (me - mask + p) % p
+			r.Send(c, acc, dst, tag)
+			return
+		}
+		if rel+mask < p {
+			r.Recv(c, scratch, (me+mask)%p, tag)
+			if len(acc) > 0 {
+				op.Apply(acc, scratch, dt)
+			}
+		}
+		mask <<= 1
+	}
+	copy(recvbuf, acc)
+}
+
+// Allreduce combines every rank's sendbuf with op and leaves the result in
+// every rank's recvbuf (MPI_Allreduce).
+func (c *Comm) Allreduce(r *Rank, sendbuf, recvbuf []byte, dt Datatype, op Op) {
+	p := c.Size()
+	switch algo := c.w.cfg.Algorithms.Allreduce; {
+	case algo == "recursive-doubling" && bits.OnesCount(uint(p)) == 1:
+		me := c.mustRank(r)
+		acc := clone(sendbuf)
+		scratch := make([]byte, len(sendbuf))
+		for mask := 1; mask < p; mask <<= 1 {
+			peer := me ^ mask
+			r.Sendrecv(c, acc, peer, tagAllreduce, scratch, peer, tagAllreduce)
+			op.Apply(acc, scratch, dt)
+		}
+		copy(recvbuf, acc)
+	case algo == "recursive-doubling" || algo == "reduce-bcast":
+		c.reduceBinomial(r, sendbuf, recvbuf, dt, op, 0, tagAllreduce)
+		c.Bcast(r, recvbuf, 0)
+	default:
+		badAlgo("allreduce", algo)
+	}
+}
+
+// Scan computes the inclusive prefix reduction: rank i receives
+// sendbuf_0 op ... op sendbuf_i (MPI_Scan). Linear algorithm.
+func (c *Comm) Scan(r *Rank, sendbuf, recvbuf []byte, dt Datatype, op Op) {
+	me, p := c.mustRank(r), c.Size()
+	acc := clone(sendbuf)
+	if me > 0 {
+		prefix := make([]byte, len(sendbuf))
+		r.Recv(c, prefix, me-1, tagScan)
+		op.Apply(prefix, acc, dt)
+		acc = prefix
+	}
+	copy(recvbuf, acc)
+	if me < p-1 {
+		r.Send(c, acc, me+1, tagScan)
+	}
+}
+
+// ReduceScatter reduces element-wise across ranks, then scatters the result
+// so rank i keeps counts[i] bytes (MPI_Reduce_scatter). Implemented as
+// binomial reduce to rank 0 followed by Scatterv, one of MPICH2's fallback
+// algorithms.
+func (c *Comm) ReduceScatter(r *Rank, sendbuf, recvbuf []byte, counts []int, dt Datatype, op Op) {
+	me, p := c.mustRank(r), c.Size()
+	if len(counts) != p {
+		panic(fmt.Sprintf("smpi: ReduceScatter counts has %d entries for %d ranks", len(counts), p))
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(sendbuf) {
+		panic(fmt.Sprintf("smpi: ReduceScatter sendbuf %d bytes, counts sum %d", len(sendbuf), total))
+	}
+	var full []byte
+	if me == 0 {
+		full = make([]byte, len(sendbuf))
+	}
+	c.reduceBinomial(r, sendbuf, full, dt, op, 0, tagReduceScatter)
+	c.Scatterv(r, full, counts, recvbuf, 0)
+}
+
+// --- v-variants (per-rank counts) ---
+
+// Scatterv distributes counts[i] bytes to rank i from root's sendbuf,
+// packed contiguously (MPI_Scatterv with implicit displacements).
+func (c *Comm) Scatterv(r *Rank, sendbuf []byte, counts []int, recvbuf []byte, root int) {
+	me, p := c.mustRank(r), c.Size()
+	if len(counts) != p {
+		panic(fmt.Sprintf("smpi: Scatterv counts has %d entries for %d ranks", len(counts), p))
+	}
+	if me == root {
+		reqs := make([]*Request, 0, p-1)
+		off := 0
+		for dst := 0; dst < p; dst++ {
+			chunk := sendbuf[off : off+counts[dst]]
+			off += counts[dst]
+			if dst == root {
+				copy(recvbuf, chunk)
+				continue
+			}
+			reqs = append(reqs, r.Isend(c, chunk, dst, tagScatter))
+		}
+		r.WaitAll(reqs)
+	} else {
+		r.Recv(c, recvbuf[:counts[me]], root, tagScatter)
+	}
+}
+
+// Gatherv collects counts[i] bytes from rank i into root's recvbuf, packed
+// contiguously (MPI_Gatherv with implicit displacements).
+func (c *Comm) Gatherv(r *Rank, sendbuf []byte, recvbuf []byte, counts []int, root int) {
+	me, p := c.mustRank(r), c.Size()
+	if len(counts) != p {
+		panic(fmt.Sprintf("smpi: Gatherv counts has %d entries for %d ranks", len(counts), p))
+	}
+	if me == root {
+		reqs := make([]*Request, 0, p-1)
+		off := 0
+		for src := 0; src < p; src++ {
+			chunk := recvbuf[off : off+counts[src]]
+			off += counts[src]
+			if src == root {
+				copy(chunk, sendbuf)
+				continue
+			}
+			reqs = append(reqs, r.Irecv(c, chunk, src, tagGather))
+		}
+		r.WaitAll(reqs)
+	} else {
+		r.Send(c, sendbuf[:counts[me]], root, tagGather)
+	}
+}
+
+// Allgatherv concatenates variable-size contributions on every rank
+// (MPI_Allgatherv): gatherv to rank 0 then broadcast.
+func (c *Comm) Allgatherv(r *Rank, sendbuf []byte, recvbuf []byte, counts []int) {
+	c.Gatherv(r, sendbuf, recvbuf, counts, 0)
+	c.Bcast(r, recvbuf, 0)
+}
+
+// Alltoallv exchanges variable-size blocks (MPI_Alltoallv with implicit
+// displacements): sendcounts[i] bytes go to rank i; recvcounts[j] bytes
+// arrive from rank j, both packed contiguously.
+func (c *Comm) Alltoallv(r *Rank, sendbuf []byte, sendcounts []int, recvbuf []byte, recvcounts []int) {
+	me, p := c.mustRank(r), c.Size()
+	if len(sendcounts) != p || len(recvcounts) != p {
+		panic(fmt.Sprintf("smpi: Alltoallv counts %d/%d entries for %d ranks", len(sendcounts), len(recvcounts), p))
+	}
+	soff := make([]int, p+1)
+	roff := make([]int, p+1)
+	for i := 0; i < p; i++ {
+		soff[i+1] = soff[i] + sendcounts[i]
+		roff[i+1] = roff[i] + recvcounts[i]
+	}
+	reqs := make([]*Request, 0, 2*p)
+	for peer := 0; peer < p; peer++ {
+		if peer == me {
+			copy(recvbuf[roff[me]:roff[me+1]], sendbuf[soff[me]:soff[me+1]])
+			continue
+		}
+		reqs = append(reqs, r.Irecv(c, recvbuf[roff[peer]:roff[peer+1]], peer, tagAlltoall))
+	}
+	for peer := 0; peer < p; peer++ {
+		if peer != me {
+			reqs = append(reqs, r.Isend(c, sendbuf[soff[peer]:soff[peer+1]], peer, tagAlltoall))
+		}
+	}
+	r.WaitAll(reqs)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

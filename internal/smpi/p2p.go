@@ -1,0 +1,464 @@
+package smpi
+
+import (
+	"fmt"
+
+	"smpigo/internal/platform"
+	"smpigo/internal/simix"
+)
+
+// Wildcards for Recv/Irecv source and tag matching.
+const (
+	// AnySource matches a message from any rank (MPI_ANY_SOURCE).
+	AnySource = -1
+	// AnyTag matches a message with any tag (MPI_ANY_TAG).
+	AnyTag = -2
+)
+
+// Status describes a completed receive (MPI_Status).
+type Status struct {
+	// Source is the sender's rank in the receive's communicator.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Count is the message payload size in bytes.
+	Count int
+}
+
+type reqKind int
+
+const (
+	sendKind reqKind = iota
+	recvKind
+)
+
+// Request is a communication handle (MPI_Request), returned by the
+// non-blocking and persistent operations and completed through Wait/Test.
+type Request struct {
+	owner *Rank
+	kind  reqKind
+	done  *simix.Future
+	// Status is filled when the request completes (receives only).
+	Status Status
+
+	// Persistent-request state (SendInit/RecvInit/Start).
+	persistent bool
+	active     bool
+	comm       *Comm
+	buf        []byte
+	peer       int
+	tag        int
+
+	// Tracing state: the rank-local request index assigned by the
+	// recorder (-1 when tracing is off) and the wildcard-source resolver.
+	traceIdx     int
+	traceResolve func(int)
+}
+
+// Done reports whether the request has completed (like a successful
+// MPI_Test without status).
+func (q *Request) Done() bool { return q != nil && q.done != nil && q.done.Done() }
+
+type mbKey struct {
+	comm int
+	rank int // receiver's rank in the communicator
+}
+
+// envelope is a message in flight or queued as unexpected.
+type envelope struct {
+	src, tag int
+	eager    bool
+	data     []byte // payload snapshot (eager: at send; rendezvous: at match)
+	srcBuf   []byte // rendezvous: sender buffer, snapshotted at match time
+	srcHost  *platform.Host
+	dstHost  *platform.Host
+	wire     *simix.Future
+	sendReq  *Request
+}
+
+// posted is a receive waiting for a matching send.
+type posted struct {
+	src, tag int
+	buf      []byte
+	req      *Request
+}
+
+type mailbox struct {
+	sends   []*envelope
+	recvs   []*posted
+	probers []*simix.Future
+}
+
+// wakeProbers releases every actor blocked in Probe on this mailbox.
+func (mb *mailbox) wakeProbers(w *World) {
+	for _, f := range mb.probers {
+		w.kernel.Fulfill(f, nil)
+	}
+	mb.probers = nil
+}
+
+func (w *World) mailbox(key mbKey) *mailbox {
+	mb, ok := w.mailboxes[key]
+	if !ok {
+		mb = &mailbox{}
+		w.mailboxes[key] = mb
+	}
+	return mb
+}
+
+func matches(envSrc, envTag, wantSrc, wantTag int) bool {
+	return (wantSrc == AnySource || envSrc == wantSrc) &&
+		(wantTag == AnyTag || envTag == wantTag)
+}
+
+func clone(buf []byte) []byte {
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	return out
+}
+
+// deliver wires an envelope to a posted receive: when the transfer
+// completes, the payload lands in the receive buffer and both requests
+// (where applicable) complete.
+func (w *World) deliver(env *envelope, p *posted) {
+	w.kernel.OnFulfill(env.wire, func(any) {
+		if len(env.data) > len(p.buf) {
+			panic(fmt.Sprintf("smpi: message truncation: %d-byte message into %d-byte buffer (src %d, tag %d)",
+				len(env.data), len(p.buf), env.src, env.tag))
+		}
+		copy(p.buf, env.data)
+		p.req.Status = Status{Source: env.src, Tag: env.tag, Count: len(env.data)}
+		if p.req.traceResolve != nil {
+			// Patch the recorded receive with the matched source so that
+			// wildcard receives replay deterministically.
+			p.req.traceResolve(p.req.comm.group[env.src])
+		}
+		w.kernel.Fulfill(p.req.done, nil)
+		if !env.eager {
+			w.kernel.Fulfill(env.sendReq.done, nil)
+		}
+	})
+}
+
+// startRendezvous begins the payload transfer of a rendezvous send that
+// just matched a posted receive. No snapshot is taken: MPI requires the
+// sender's buffer to stay untouched until the send completes, and the send
+// completes exactly when this transfer delivers, so referencing the buffer
+// directly is safe and keeps large transfers zero-copy (one copy into the
+// receive buffer at delivery).
+func (w *World) startRendezvous(env *envelope, p *posted) {
+	env.data = env.srcBuf
+	env.srcBuf = nil
+	env.wire = w.transfer(env.srcHost, env.dstHost, int64(len(env.data)))
+	w.deliver(env, p)
+}
+
+// isendInto performs the send protocol, completing req accordingly.
+func (w *World) isendInto(r *Rank, c *Comm, buf []byte, dst, tag int, req *Request) {
+	myRank := c.mustRank(r)
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("smpi: send to invalid rank %d in communicator of size %d", dst, c.Size()))
+	}
+	dstHost := w.ranks[c.group[dst]].host
+	env := &envelope{
+		src:     myRank,
+		tag:     tag,
+		srcHost: r.host,
+		dstHost: dstHost,
+		sendReq: req,
+	}
+	mb := w.mailbox(mbKey{comm: c.id, rank: dst})
+
+	if int64(len(buf)) < w.cfg.EagerThreshold {
+		// Eager: snapshot the payload, push it to the wire immediately,
+		// and complete the send locally (buffered semantics).
+		env.eager = true
+		env.data = clone(buf)
+		env.wire = w.transfer(r.host, dstHost, int64(len(buf)))
+		w.kernel.Fulfill(req.done, nil)
+		if p := mb.takeRecv(env); p != nil {
+			w.deliver(env, p)
+		} else {
+			mb.sends = append(mb.sends, env)
+			mb.wakeProbers(w)
+		}
+		return
+	}
+
+	// Rendezvous: nothing moves until a matching receive is posted; the
+	// send completes only when the payload has been delivered
+	// (synchronous-mode semantics above the eager threshold).
+	env.srcBuf = buf
+	if p := mb.takeRecv(env); p != nil {
+		w.startRendezvous(env, p)
+	} else {
+		mb.sends = append(mb.sends, env)
+		mb.wakeProbers(w)
+	}
+}
+
+// irecvInto performs the receive protocol, completing req when a matching
+// message has fully arrived.
+func (w *World) irecvInto(r *Rank, c *Comm, buf []byte, src, tag int, req *Request) {
+	myRank := c.mustRank(r)
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		panic(fmt.Sprintf("smpi: receive from invalid rank %d in communicator of size %d", src, c.Size()))
+	}
+	mb := w.mailbox(mbKey{comm: c.id, rank: myRank})
+	p := &posted{src: src, tag: tag, buf: buf, req: req}
+	if env := mb.takeSend(src, tag); env != nil {
+		if env.eager {
+			w.deliver(env, p)
+		} else {
+			w.startRendezvous(env, p)
+		}
+		return
+	}
+	mb.recvs = append(mb.recvs, p)
+}
+
+// takeRecv removes and returns the earliest posted receive matching env.
+func (mb *mailbox) takeRecv(env *envelope) *posted {
+	for i, p := range mb.recvs {
+		if matches(env.src, env.tag, p.src, p.tag) {
+			mb.recvs = append(mb.recvs[:i], mb.recvs[i+1:]...)
+			return p
+		}
+	}
+	return nil
+}
+
+// takeSend removes and returns the earliest queued send matching (src,tag).
+func (mb *mailbox) takeSend(src, tag int) *envelope {
+	for i, env := range mb.sends {
+		if matches(env.src, env.tag, src, tag) {
+			mb.sends = append(mb.sends[:i], mb.sends[i+1:]...)
+			return env
+		}
+	}
+	return nil
+}
+
+// --- public point-to-point API ---
+
+// Isend starts a non-blocking send of buf to rank dst with the given tag
+// (MPI_Isend). The buffer must not be modified until the request completes.
+func (r *Rank) Isend(c *Comm, buf []byte, dst, tag int) *Request {
+	req := &Request{owner: r, kind: sendKind, done: simix.NewFuture(), traceIdx: -1}
+	if tr := r.w.cfg.Tracer; tr != nil {
+		req.traceIdx = tr.RecordIsend(r.rank, c.group[dst], tag, int64(len(buf)))
+	}
+	r.w.isendInto(r, c, buf, dst, tag, req)
+	return req
+}
+
+// Irecv starts a non-blocking receive into buf from rank src (or AnySource)
+// with the given tag (or AnyTag) — MPI_Irecv.
+func (r *Rank) Irecv(c *Comm, buf []byte, src, tag int) *Request {
+	req := &Request{owner: r, kind: recvKind, done: simix.NewFuture(), comm: c, traceIdx: -1}
+	if tr := r.w.cfg.Tracer; tr != nil {
+		peer := src
+		if src >= 0 {
+			peer = c.group[src]
+		}
+		req.traceIdx, req.traceResolve = tr.RecordIrecv(r.rank, peer, tag, int64(len(buf)))
+	}
+	r.w.irecvInto(r, c, buf, src, tag, req)
+	return req
+}
+
+// Send performs a blocking send (MPI_Send): buffered below the eager
+// threshold, synchronous above it.
+func (r *Rank) Send(c *Comm, buf []byte, dst, tag int) {
+	r.Wait(r.Isend(c, buf, dst, tag))
+}
+
+// Recv performs a blocking receive (MPI_Recv) and returns its status.
+func (r *Rank) Recv(c *Comm, buf []byte, src, tag int) Status {
+	return r.Wait(r.Irecv(c, buf, src, tag))
+}
+
+// Sendrecv performs the combined send+receive (MPI_Sendrecv).
+func (r *Rank) Sendrecv(c *Comm, sendbuf []byte, dst, sendtag int,
+	recvbuf []byte, src, recvtag int) Status {
+	rq := r.Irecv(c, recvbuf, src, recvtag)
+	sq := r.Isend(c, sendbuf, dst, sendtag)
+	r.Wait(sq)
+	return r.Wait(rq)
+}
+
+// Wait blocks until the request completes and returns its status
+// (MPI_Wait). Persistent requests become inactive again.
+func (r *Rank) Wait(q *Request) Status {
+	if q == nil {
+		return Status{}
+	}
+	if tr := r.w.cfg.Tracer; tr != nil && q.traceIdx >= 0 {
+		tr.RecordWait(r.rank, q.traceIdx)
+	}
+	r.proc.Wait(q.done)
+	if q.persistent {
+		q.active = false
+	}
+	return q.Status
+}
+
+// WaitAll blocks until every non-nil request completes (MPI_Waitall).
+func (r *Rank) WaitAll(qs []*Request) {
+	for _, q := range qs {
+		r.Wait(q)
+	}
+}
+
+// WaitAny blocks until at least one request completes and returns its index
+// and status (MPI_Waitany). It returns -1 if every request is nil.
+func (r *Rank) WaitAny(qs []*Request) (int, Status) {
+	futures := make([]*simix.Future, len(qs))
+	all := true
+	for i, q := range qs {
+		if q != nil {
+			futures[i] = q.done
+			all = false
+		}
+	}
+	if all {
+		return -1, Status{}
+	}
+	i, _ := r.proc.WaitAny(futures)
+	if tr := r.w.cfg.Tracer; tr != nil && qs[i].traceIdx >= 0 {
+		tr.RecordWait(r.rank, qs[i].traceIdx)
+	}
+	if qs[i].persistent {
+		qs[i].active = false
+	}
+	return i, qs[i].Status
+}
+
+// WaitSome blocks until at least one request completes and returns the
+// indices of all completed requests (MPI_Waitsome). It returns nil if every
+// request is nil.
+func (r *Rank) WaitSome(qs []*Request) []int {
+	if i, _ := r.WaitAny(qs); i < 0 {
+		return nil
+	}
+	var done []int
+	for i, q := range qs {
+		if q != nil && q.Done() {
+			if q.persistent {
+				q.active = false
+			}
+			done = append(done, i)
+		}
+	}
+	return done
+}
+
+// Test reports whether the request has completed, without blocking
+// (MPI_Test).
+func (r *Rank) Test(q *Request) (bool, Status) {
+	if q == nil || !q.Done() {
+		return false, Status{}
+	}
+	if q.persistent {
+		q.active = false
+	}
+	return true, q.Status
+}
+
+// TestAny returns the index and status of a completed request, or -1
+// (MPI_Testany).
+func (r *Rank) TestAny(qs []*Request) (int, Status) {
+	for i, q := range qs {
+		if ok, st := r.Test(q); ok {
+			_ = st
+			return i, q.Status
+		}
+	}
+	return -1, Status{}
+}
+
+// Iprobe reports whether a message matching (src, tag) — wildcards allowed
+// — is queued for this rank, without receiving it (MPI_Iprobe). When true,
+// the returned status describes the message.
+func (r *Rank) Iprobe(c *Comm, src, tag int) (bool, Status) {
+	me := c.mustRank(r)
+	mb := r.w.mailbox(mbKey{comm: c.id, rank: me})
+	for _, env := range mb.sends {
+		if matches(env.src, env.tag, src, tag) {
+			size := len(env.data)
+			if !env.eager {
+				size = len(env.srcBuf)
+			}
+			return true, Status{Source: env.src, Tag: env.tag, Count: size}
+		}
+	}
+	return false, Status{}
+}
+
+// Probe blocks until a message matching (src, tag) is queued and returns
+// its status without receiving it (MPI_Probe).
+func (r *Rank) Probe(c *Comm, src, tag int) Status {
+	me := c.mustRank(r)
+	mb := r.w.mailbox(mbKey{comm: c.id, rank: me})
+	for {
+		if ok, st := r.Iprobe(c, src, tag); ok {
+			return st
+		}
+		f := simix.NewFuture()
+		mb.probers = append(mb.probers, f)
+		r.proc.Wait(f)
+	}
+}
+
+// --- persistent requests (MPI_Send_init / MPI_Recv_init / MPI_Start) ---
+
+// SendInit creates an inactive persistent send request.
+func (r *Rank) SendInit(c *Comm, buf []byte, dst, tag int) *Request {
+	return &Request{
+		owner: r, kind: sendKind, persistent: true,
+		comm: c, buf: buf, peer: dst, tag: tag,
+	}
+}
+
+// RecvInit creates an inactive persistent receive request.
+func (r *Rank) RecvInit(c *Comm, buf []byte, src, tag int) *Request {
+	return &Request{
+		owner: r, kind: recvKind, persistent: true,
+		comm: c, buf: buf, peer: src, tag: tag,
+	}
+}
+
+// Start activates a persistent request (MPI_Start).
+func (r *Rank) Start(q *Request) {
+	if q == nil || !q.persistent {
+		panic("smpi: Start on a non-persistent request")
+	}
+	if q.active {
+		panic("smpi: Start on an already-active persistent request")
+	}
+	q.active = true
+	q.done = simix.NewFuture()
+	q.traceIdx = -1
+	if q.kind == sendKind {
+		if tr := r.w.cfg.Tracer; tr != nil {
+			q.traceIdx = tr.RecordIsend(r.rank, q.comm.group[q.peer], q.tag, int64(len(q.buf)))
+		}
+		r.w.isendInto(r, q.comm, q.buf, q.peer, q.tag, q)
+	} else {
+		if tr := r.w.cfg.Tracer; tr != nil {
+			peer := q.peer
+			if peer >= 0 {
+				peer = q.comm.group[peer]
+			}
+			q.traceIdx, q.traceResolve = tr.RecordIrecv(r.rank, peer, q.tag, int64(len(q.buf)))
+		}
+		r.w.irecvInto(r, q.comm, q.buf, q.peer, q.tag, q)
+	}
+}
+
+// StartAll activates a set of persistent requests (MPI_Startall).
+func (r *Rank) StartAll(qs []*Request) {
+	for _, q := range qs {
+		r.Start(q)
+	}
+}

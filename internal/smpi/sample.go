@@ -1,0 +1,64 @@
+package smpi
+
+import (
+	"fmt"
+
+	"smpigo/internal/core"
+)
+
+// This file exposes the paper's scalability macros (Section 5.2, Figure 2)
+// as Rank methods. The C macros expand to hash-table lookups keyed by
+// source location; here the caller passes the site identifier explicitly.
+
+// SampleLocal runs the CPU burst identified by id at most n times on this
+// rank, measuring its wall-clock duration each time; later occurrences are
+// bypassed and replaced by the mean measured duration (SMPI_SAMPLE_LOCAL).
+// The burst's duration — measured or replayed — is charged to simulated
+// time, scaled by Config.SpeedFactor.
+func (r *Rank) SampleLocal(id string, n int, fn func()) {
+	key := fmt.Sprintf("%s@rank%d", id, r.rank)
+	d, _ := r.w.reg.Sample(key, n, fn)
+	r.Elapse(d * core.Duration(r.w.cfg.SpeedFactor))
+}
+
+// SampleGlobal is like SampleLocal but the n measurements are shared across
+// all ranks (SMPI_SAMPLE_GLOBAL): with a regular SPMD burst, total execution
+// cost is independent of the rank count (paper Section 3.1).
+func (r *Rank) SampleGlobal(id string, n int, fn func()) {
+	d, _ := r.w.reg.Sample(id, n, fn)
+	r.Elapse(d * core.Duration(r.w.cfg.SpeedFactor))
+}
+
+// SampleFlops never executes anything: it charges the given flop amount on
+// the host (SMPI_SAMPLE_DELAY, whose argument is a flop count). Use with
+// RAM folding technique #2: when bursts are never executed, their arrays
+// need not exist at all.
+func (r *Rank) SampleFlops(flops float64) {
+	r.Compute(flops)
+}
+
+// SharedMalloc returns the world-shared buffer for id (SMPI_SHARED_MALLOC):
+// every rank asking for the same id gets the same backing array, folding
+// m copies into one (paper Section 3.2, technique #1).
+func (r *Rank) SharedMalloc(id string, size int) []byte {
+	buf := r.w.reg.SharedMalloc(id, size)
+	r.w.reg.TouchAll()
+	return buf
+}
+
+// SharedFree releases one reference to a shared buffer (SMPI_FREE).
+func (r *Rank) SharedFree(id string) {
+	r.w.reg.SharedFree(id)
+}
+
+// Malloc allocates a private, footprint-accounted buffer. Using Malloc
+// instead of make() lets the report's MaxPeakRSS reproduce the paper's
+// Figure 16 measurements.
+func (r *Rank) Malloc(size int) []byte {
+	return r.w.reg.Malloc(r.rank, size)
+}
+
+// Free returns a buffer allocated with Malloc to the accounting.
+func (r *Rank) Free(buf []byte) {
+	r.w.reg.Free(r.rank, len(buf))
+}

@@ -1,0 +1,294 @@
+// Package smpi is the paper's primary contribution: an on-line simulator
+// for MPI applications. Applications are ordinary Go functions written
+// against an MPI-flavoured API (point-to-point operations, collectives,
+// communicators, datatypes, reduction operators); their code genuinely
+// executes — computing real data, paper Section 1's definition of on-line
+// simulation — while every communication and compute burst is timed by a
+// simulation backend:
+//
+//   - BackendSurf: the analytical SimGrid-style backend (package surf) with
+//     flow-level contention and the piece-wise linear point-to-point model;
+//   - BackendEmu: the packet-level testbed emulator (package emu), which
+//     plays the role of the real clusters/MPI implementations the paper
+//     validates against.
+//
+// All ranks of a simulated job run inside one OS process, one goroutine
+// per rank, scheduled sequentially by the simix kernel — the single-node
+// execution property of the paper's Section 3 — with CPU-burst sampling
+// and RAM folding available through the Rank sampling API.
+package smpi
+
+import (
+	"fmt"
+	"time"
+
+	"smpigo/internal/core"
+	"smpigo/internal/emu"
+	"smpigo/internal/platform"
+	"smpigo/internal/sampling"
+	"smpigo/internal/simix"
+	"smpigo/internal/surf"
+	"smpigo/internal/trace"
+)
+
+// Backend selects the timing model for a simulated run.
+type Backend int
+
+const (
+	// BackendSurf uses the fast analytical models (an SMPI simulation).
+	BackendSurf Backend = iota
+	// BackendEmu uses the packet-level emulator (a stand-in "real run").
+	BackendEmu
+)
+
+// Config parameterizes a simulated MPI job.
+type Config struct {
+	// Procs is the number of MPI ranks.
+	Procs int
+	// Platform is the target platform; required.
+	Platform *platform.Platform
+	// Hosts optionally pins rank i to Hosts[i]; by default ranks are laid
+	// out round-robin over Platform.Hosts().
+	Hosts []*platform.Host
+	// Backend selects the timing model (default BackendSurf).
+	Backend Backend
+	// Model is the point-to-point model for BackendSurf; defaults to
+	// surf.Ideal() if zero.
+	Model surf.NetModel
+	// NoContention disables link sharing in BackendSurf, emulating the
+	// contention-blind simulators the paper compares against.
+	NoContention bool
+	// Impl is the emulated MPI implementation for BackendEmu; defaults to
+	// emu.OpenMPI().
+	Impl emu.MPIImpl
+	// EagerThreshold is the size (bytes) at which sends switch from eager
+	// (buffered) to rendezvous (synchronous) semantics. Default 64 KiB.
+	EagerThreshold int64
+	// SpeedFactor scales wall-clock-measured CPU bursts into target-node
+	// durations (paper Section 3.1); default 1 (host == target).
+	SpeedFactor float64
+	// Seed seeds the per-rank deterministic RNGs.
+	Seed uint64
+	// Algorithms selects collective implementation variants.
+	Algorithms Algorithms
+	// Deadline aborts runs whose simulated time exceeds it (0 = none).
+	Deadline core.Time
+	// Tracer, when non-nil, records every compute burst and point-to-point
+	// operation in program order, producing the input of the off-line
+	// replayer (package replay). Collectives are traced as the
+	// point-to-point messages they decompose into.
+	Tracer trace.Recorder
+}
+
+func (cfg *Config) fillDefaults() error {
+	if cfg.Procs <= 0 {
+		return fmt.Errorf("smpi: Procs must be positive, got %d", cfg.Procs)
+	}
+	if cfg.Platform == nil {
+		return fmt.Errorf("smpi: Platform is required")
+	}
+	if len(cfg.Platform.Hosts()) == 0 {
+		return fmt.Errorf("smpi: platform has no hosts")
+	}
+	if cfg.Model.Segments == nil {
+		cfg.Model = surf.Ideal()
+	}
+	if cfg.Impl.Name == "" {
+		cfg.Impl = emu.OpenMPI()
+	}
+	if cfg.EagerThreshold == 0 {
+		cfg.EagerThreshold = 64 * core.KiB
+	}
+	if cfg.SpeedFactor == 0 {
+		cfg.SpeedFactor = 1
+	}
+	cfg.Algorithms.fillDefaults()
+	return nil
+}
+
+// Report summarizes a completed simulation.
+type Report struct {
+	// SimulatedTime is the simulated date at which the last rank finished
+	// (the application's predicted execution time).
+	SimulatedTime core.Time
+	// WallTime is the real time the simulation took — the "simulation
+	// time" axis of the paper's Figures 17 and 18.
+	WallTime time.Duration
+	// MaxPeakRSS is the maximum accounted per-rank footprint in bytes
+	// (Figure 16's metric). Only allocations made through Rank.Malloc and
+	// Rank.SharedMalloc are accounted.
+	MaxPeakRSS float64
+	// BytesOnWire and Messages count point-to-point traffic.
+	BytesOnWire int64
+	Messages    int64
+	// BurstsExecuted and BurstsReplayed count sampled CPU bursts that ran
+	// for real vs. were replaced by a mean delay.
+	BurstsExecuted int64
+	BurstsReplayed int64
+}
+
+// World is the runtime state of one simulated MPI job.
+type World struct {
+	cfg    Config
+	kernel *simix.Kernel
+	cpu    *surf.CPU
+	snet   *surf.Network
+	enet   *emu.Net
+	reg    *sampling.Registry
+
+	ranks     []*Rank
+	world     *Comm
+	mailboxes map[mbKey]*mailbox
+	comms     map[string]*Comm
+	commSeq   int
+
+	bytesOnWire int64
+	messages    int64
+}
+
+// Rank is the per-process handle passed to application functions: it
+// identifies the calling rank and carries every MPI-ish operation.
+type Rank struct {
+	w    *World
+	proc *simix.Proc
+	rank int
+	host *platform.Host
+	rng  *core.RNG
+
+	dupSeq map[int]int // per-source-comm Dup call counters
+}
+
+// Run simulates app on cfg.Procs ranks and returns the report.
+func Run(cfg Config, app func(*Rank)) (*Report, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		cfg:       cfg,
+		kernel:    simix.New(),
+		mailboxes: make(map[mbKey]*mailbox),
+		comms:     make(map[string]*Comm),
+	}
+	w.kernel.SetDeadline(cfg.Deadline)
+	w.cpu = surf.NewCPU(w.kernel)
+	w.kernel.AddModel(w.cpu)
+	switch cfg.Backend {
+	case BackendSurf:
+		w.snet = surf.NewNetwork(w.kernel, cfg.Model)
+		w.snet.Contention = !cfg.NoContention
+		w.kernel.AddModel(w.snet)
+	case BackendEmu:
+		w.enet = emu.NewNet(w.kernel, cfg.Platform, cfg.Impl)
+		w.kernel.AddModel(w.enet)
+	default:
+		return nil, fmt.Errorf("smpi: unknown backend %d", cfg.Backend)
+	}
+	w.reg = sampling.NewRegistry(cfg.Procs)
+
+	hosts := cfg.Hosts
+	if hosts == nil {
+		all := cfg.Platform.Hosts()
+		hosts = make([]*platform.Host, cfg.Procs)
+		for i := range hosts {
+			hosts[i] = all[i%len(all)]
+		}
+	} else if len(hosts) < cfg.Procs {
+		return nil, fmt.Errorf("smpi: %d hosts for %d ranks", len(hosts), cfg.Procs)
+	}
+
+	group := make([]int, cfg.Procs)
+	for i := range group {
+		group[i] = i
+	}
+	w.world = &Comm{w: w, id: w.nextCommID(), group: group}
+
+	seedRNG := core.NewRNG(cfg.Seed + 0x5eed)
+	for i := 0; i < cfg.Procs; i++ {
+		r := &Rank{
+			w:      w,
+			rank:   i,
+			host:   hosts[i],
+			rng:    seedRNG.Split(),
+			dupSeq: make(map[int]int),
+		}
+		w.ranks = append(w.ranks, r)
+		w.kernel.Spawn(fmt.Sprintf("rank-%d", i), func(p *simix.Proc) {
+			r.proc = p
+			app(r)
+		})
+	}
+
+	wallStart := time.Now()
+	if err := w.kernel.Run(); err != nil {
+		return nil, err
+	}
+	return &Report{
+		SimulatedTime:  w.kernel.Now(),
+		WallTime:       time.Since(wallStart),
+		MaxPeakRSS:     w.reg.MaxPeakRSS(),
+		BytesOnWire:    w.bytesOnWire,
+		Messages:       w.messages,
+		BurstsExecuted: w.reg.Executed(),
+		BurstsReplayed: w.reg.Replayed(),
+	}, nil
+}
+
+func (w *World) nextCommID() int {
+	id := w.commSeq
+	w.commSeq++
+	return id
+}
+
+// transfer starts moving size bytes between hosts on the active backend and
+// returns the delivery future.
+func (w *World) transfer(src, dst *platform.Host, size int64) *simix.Future {
+	f := simix.NewFuture()
+	w.bytesOnWire += size
+	w.messages++
+	if w.snet != nil {
+		w.snet.StartFlow(w.cfg.Platform.Route(src, dst), size, f)
+	} else {
+		w.enet.Transfer(src, dst, size, f)
+	}
+	return f
+}
+
+// --- Rank basics ---
+
+// Rank returns the caller's rank in the world communicator.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the number of ranks in the world communicator.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Comm returns the world communicator (MPI_COMM_WORLD).
+func (r *Rank) Comm() *Comm { return r.w.world }
+
+// Host returns the platform host this rank is placed on.
+func (r *Rank) Host() *platform.Host { return r.host }
+
+// Now returns the current simulated time.
+func (r *Rank) Now() core.Time { return r.proc.Now() }
+
+// RNG returns this rank's deterministic random stream.
+func (r *Rank) RNG() *core.RNG { return r.rng }
+
+// Compute charges flops of work on this rank's host and blocks until the
+// simulated work completes.
+func (r *Rank) Compute(flops float64) {
+	if tr := r.w.cfg.Tracer; tr != nil {
+		tr.RecordCompute(r.rank, core.Duration(flops/r.host.Speed))
+	}
+	r.proc.Wait(r.w.cpu.Execute(r.host, flops))
+}
+
+// Elapse charges a fixed simulated delay of compute on this rank's host.
+func (r *Rank) Elapse(d core.Duration) {
+	if d <= 0 {
+		return
+	}
+	if tr := r.w.cfg.Tracer; tr != nil {
+		tr.RecordCompute(r.rank, d)
+	}
+	r.proc.Wait(r.w.cpu.Delay(r.host, d))
+}

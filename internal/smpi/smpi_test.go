@@ -1,0 +1,484 @@
+package smpi
+
+import (
+	"strings"
+	"testing"
+
+	"smpigo/internal/core"
+	"smpigo/internal/platform"
+)
+
+// testConfig returns a ready-to-run config on the griffon platform.
+func testConfig(procs int) Config {
+	plat, err := platform.Griffon().Build()
+	if err != nil {
+		panic(err)
+	}
+	return Config{Procs: procs, Platform: plat}
+}
+
+// mustRun runs app and fails the test on error.
+func mustRun(t *testing.T, cfg Config, app func(*Rank)) *Report {
+	t.Helper()
+	rep, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}, func(*Rank) {}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := Run(Config{Procs: 2}, func(*Rank) {}); err == nil {
+		t.Error("missing platform should fail")
+	}
+}
+
+func TestRankIdentity(t *testing.T) {
+	seen := make([]bool, 4)
+	mustRun(t, testConfig(4), func(r *Rank) {
+		if r.Size() != 4 {
+			t.Errorf("Size = %d, want 4", r.Size())
+		}
+		seen[r.Rank()] = true
+		if r.Host() == nil {
+			t.Error("rank has no host")
+		}
+	})
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("rank %d never ran", i)
+		}
+	}
+}
+
+func TestSendRecvDataIntegrity(t *testing.T) {
+	mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		if r.Rank() == 0 {
+			r.Send(c, []byte("hello, smpi"), 1, 7)
+		} else {
+			buf := make([]byte, 11)
+			st := r.Recv(c, buf, 0, 7)
+			if string(buf) != "hello, smpi" {
+				t.Errorf("received %q", buf)
+			}
+			if st.Source != 0 || st.Tag != 7 || st.Count != 11 {
+				t.Errorf("status = %+v", st)
+			}
+		}
+	})
+}
+
+func TestRendezvousSenderBlocksUntilRecv(t *testing.T) {
+	// A 1 MiB message is above the eager threshold: the sender's Send must
+	// not complete before the receiver posts its receive at t=1s.
+	var sendDone, recvDone core.Time
+	mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		buf := make([]byte, 1<<20)
+		if r.Rank() == 0 {
+			r.Send(c, buf, 1, 0)
+			sendDone = r.Now()
+		} else {
+			r.Elapse(1.0)
+			r.Recv(c, buf, 0, 0)
+			recvDone = r.Now()
+		}
+	})
+	if sendDone < 1.0 {
+		t.Errorf("rendezvous send completed at %v, before the recv was posted", sendDone)
+	}
+	if recvDone < sendDone {
+		t.Errorf("recv (%v) before send completion (%v)", recvDone, sendDone)
+	}
+}
+
+func TestEagerSendCompletesImmediately(t *testing.T) {
+	var sendDone core.Time
+	mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		if r.Rank() == 0 {
+			r.Send(c, make([]byte, 1024), 1, 0)
+			sendDone = r.Now()
+		} else {
+			r.Elapse(1.0)
+			r.Recv(c, make([]byte, 1024), 0, 0)
+		}
+	})
+	if sendDone != 0 {
+		t.Errorf("eager send completed at %v, want 0 (buffered)", sendDone)
+	}
+}
+
+func TestEagerBufferReusableAfterSend(t *testing.T) {
+	// Eager semantics snapshot the payload: overwriting the send buffer
+	// after Send must not corrupt the message.
+	mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		if r.Rank() == 0 {
+			buf := []byte{1, 2, 3, 4}
+			r.Send(c, buf, 1, 0)
+			buf[0] = 99
+		} else {
+			buf := make([]byte, 4)
+			r.Recv(c, buf, 0, 0)
+			if buf[0] != 1 {
+				t.Errorf("eager payload corrupted: %v", buf)
+			}
+		}
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	mustRun(t, testConfig(3), func(r *Rank) {
+		c := r.Comm()
+		switch r.Rank() {
+		case 1, 2:
+			r.Send(c, []byte{byte(r.Rank())}, 0, 40+r.Rank())
+		case 0:
+			got := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				buf := make([]byte, 1)
+				st := r.Recv(c, buf, AnySource, AnyTag)
+				if int(buf[0]) != st.Source {
+					t.Errorf("payload %d does not match source %d", buf[0], st.Source)
+				}
+				if st.Tag != 40+st.Source {
+					t.Errorf("tag %d for source %d", st.Tag, st.Source)
+				}
+				got[st.Source] = true
+			}
+			if !got[1] || !got[2] {
+				t.Errorf("missing senders: %v", got)
+			}
+		}
+	})
+}
+
+func TestNonOvertakingOrder(t *testing.T) {
+	mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		if r.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				r.Send(c, []byte{byte(i)}, 1, 3)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				buf := make([]byte, 1)
+				r.Recv(c, buf, 0, 3)
+				if int(buf[0]) != i {
+					t.Errorf("message %d arrived out of order (got %d)", i, buf[0])
+				}
+			}
+		}
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		if r.Rank() == 0 {
+			r.Send(c, []byte{1}, 1, 10)
+			r.Send(c, []byte{2}, 1, 20)
+		} else {
+			buf := make([]byte, 1)
+			r.Recv(c, buf, 0, 20)
+			if buf[0] != 2 {
+				t.Errorf("tag-20 recv got %d", buf[0])
+			}
+			r.Recv(c, buf, 0, 10)
+			if buf[0] != 1 {
+				t.Errorf("tag-10 recv got %d", buf[0])
+			}
+		}
+	})
+}
+
+func TestSendToSelf(t *testing.T) {
+	mustRun(t, testConfig(1), func(r *Rank) {
+		c := r.Comm()
+		rq := r.Irecv(c, make([]byte, 3), 0, 0)
+		r.Send(c, []byte{7, 8, 9}, 0, 0)
+		st := r.Wait(rq)
+		if st.Count != 3 {
+			t.Errorf("self message count %d", st.Count)
+		}
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		me := byte(r.Rank())
+		peer := 1 - r.Rank()
+		out := []byte{me}
+		in := make([]byte, 1)
+		r.Sendrecv(c, out, peer, 0, in, peer, 0)
+		if int(in[0]) != peer {
+			t.Errorf("rank %d received %d, want %d", me, in[0], peer)
+		}
+	})
+}
+
+func TestWaitAnyAndTest(t *testing.T) {
+	mustRun(t, testConfig(3), func(r *Rank) {
+		c := r.Comm()
+		switch r.Rank() {
+		case 0:
+			reqs := []*Request{
+				r.Irecv(c, make([]byte, 1), 1, 0),
+				r.Irecv(c, make([]byte, 1), 2, 0),
+			}
+			if ok, _ := r.Test(reqs[0]); ok {
+				t.Error("Test true before any message sent")
+			}
+			i, st := r.WaitAny(reqs)
+			if i != 1 || st.Source != 2 {
+				t.Errorf("WaitAny = %d, %+v; want rank-2 message first", i, st)
+			}
+			r.Wait(reqs[0])
+		case 1:
+			r.Elapse(2.0)
+			r.Send(c, []byte{1}, 0, 0)
+		case 2:
+			r.Send(c, []byte{2}, 0, 0)
+		}
+	})
+}
+
+func TestWaitSome(t *testing.T) {
+	mustRun(t, testConfig(3), func(r *Rank) {
+		c := r.Comm()
+		switch r.Rank() {
+		case 0:
+			reqs := []*Request{
+				r.Irecv(c, make([]byte, 1), 1, 0),
+				r.Irecv(c, make([]byte, 1), 2, 0),
+			}
+			done := r.WaitSome(reqs)
+			if len(done) == 0 {
+				t.Error("WaitSome returned nothing")
+			}
+			r.WaitAll(reqs)
+		default:
+			r.Send(c, []byte{0}, 0, 0)
+		}
+	})
+}
+
+func TestWaitAnyAllNil(t *testing.T) {
+	mustRun(t, testConfig(1), func(r *Rank) {
+		if i, _ := r.WaitAny([]*Request{nil, nil}); i != -1 {
+			t.Errorf("WaitAny(nil...) = %d, want -1", i)
+		}
+	})
+}
+
+func TestPersistentRequests(t *testing.T) {
+	mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		if r.Rank() == 0 {
+			buf := []byte{0}
+			req := r.SendInit(c, buf, 1, 0)
+			for i := 0; i < 3; i++ {
+				buf[0] = byte(10 + i)
+				r.Start(req)
+				r.Wait(req)
+			}
+		} else {
+			buf := make([]byte, 1)
+			req := r.RecvInit(c, buf, 0, 0)
+			for i := 0; i < 3; i++ {
+				r.Start(req)
+				r.Wait(req)
+				if int(buf[0]) != 10+i {
+					t.Errorf("iteration %d received %d", i, buf[0])
+				}
+			}
+		}
+	})
+}
+
+func TestStartOnActivePersistentPanics(t *testing.T) {
+	_, err := Run(testConfig(2), func(r *Rank) {
+		if r.Rank() == 0 {
+			req := r.SendInit(r.Comm(), []byte{1}, 1, 0)
+			r.Start(req)
+			r.Start(req) // must panic
+		} else {
+			r.Recv(r.Comm(), make([]byte, 1), 0, 0)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("want panic error, got %v", err)
+	}
+}
+
+func TestTruncationPanics(t *testing.T) {
+	_, err := Run(testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		if r.Rank() == 0 {
+			r.Send(c, make([]byte, 100), 1, 0)
+		} else {
+			r.Recv(c, make([]byte, 10), 0, 0)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "truncation") {
+		t.Errorf("want truncation panic, got %v", err)
+	}
+}
+
+func TestDeadlockSurfacesAsError(t *testing.T) {
+	_, err := Run(testConfig(2), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Recv(r.Comm(), make([]byte, 1), 1, 0) // never sent
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("want deadlock error, got %v", err)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		if r.Rank() == 0 {
+			r.Send(c, []byte{1, 2, 3}, 1, 5)
+		} else {
+			if ok, _ := r.Iprobe(c, 0, 99); ok {
+				t.Error("Iprobe matched wrong tag")
+			}
+			st := r.Probe(c, 0, 5)
+			if st.Source != 0 || st.Tag != 5 || st.Count != 3 {
+				t.Errorf("Probe status = %+v", st)
+			}
+			// Probing must not consume: the receive still works.
+			buf := make([]byte, 3)
+			r.Recv(c, buf, 0, 5)
+			if buf[2] != 3 {
+				t.Errorf("payload after probe: %v", buf)
+			}
+		}
+	})
+}
+
+func TestProbeBlocksUntilMessage(t *testing.T) {
+	var probed core.Time
+	mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		if r.Rank() == 0 {
+			r.Elapse(2.0)
+			r.Send(c, []byte{9}, 1, 0)
+		} else {
+			r.Probe(c, AnySource, AnyTag)
+			probed = r.Now()
+			r.Recv(c, make([]byte, 1), 0, 0)
+		}
+	})
+	if probed < 2.0 {
+		t.Errorf("Probe returned at %v, before the send at 2.0", probed)
+	}
+}
+
+func TestProbeRendezvousSize(t *testing.T) {
+	mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		big := int(128 * core.KiB)
+		if r.Rank() == 0 {
+			req := r.Isend(c, make([]byte, big), 1, 0)
+			defer r.Wait(req)
+		} else {
+			st := r.Probe(c, 0, 0)
+			if st.Count != big {
+				t.Errorf("probed size %d, want %d", st.Count, big)
+			}
+			r.Recv(c, make([]byte, big), 0, 0)
+		}
+	})
+}
+
+func TestComputeAdvancesSimulatedTime(t *testing.T) {
+	rep := mustRun(t, testConfig(1), func(r *Rank) {
+		r.Compute(2e9) // 2 Gflop on a 1 Gf/s griffon node
+	})
+	if diff := float64(rep.SimulatedTime) - 2; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("simulated time %v, want 2s", rep.SimulatedTime)
+	}
+}
+
+func TestDeterministicSimulatedTime(t *testing.T) {
+	app := func(r *Rank) {
+		c := r.Comm()
+		buf := make([]byte, 128*core.KiB)
+		if r.Rank() == 0 {
+			for dst := 1; dst < r.Size(); dst++ {
+				r.Send(c, buf, dst, 0)
+			}
+		} else {
+			r.Recv(c, buf, 0, 0)
+		}
+	}
+	a := mustRun(t, testConfig(4), app).SimulatedTime
+	b := mustRun(t, testConfig(4), app).SimulatedTime
+	if a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestEmuBackendRuns(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Backend = BackendEmu
+	rep := mustRun(t, cfg, func(r *Rank) {
+		c := r.Comm()
+		if r.Rank() == 0 {
+			r.Send(c, make([]byte, 1<<20), 1, 0)
+		} else {
+			r.Recv(c, make([]byte, 1<<20), 0, 0)
+		}
+	})
+	if rep.SimulatedTime <= 0 {
+		t.Error("emu backend produced zero simulated time")
+	}
+}
+
+func TestReportTrafficStats(t *testing.T) {
+	rep := mustRun(t, testConfig(2), func(r *Rank) {
+		c := r.Comm()
+		if r.Rank() == 0 {
+			r.Send(c, make([]byte, 1000), 1, 0)
+		} else {
+			r.Recv(c, make([]byte, 1000), 0, 0)
+		}
+	})
+	if rep.BytesOnWire != 1000 || rep.Messages != 1 {
+		t.Errorf("traffic stats = %d bytes / %d msgs", rep.BytesOnWire, rep.Messages)
+	}
+}
+
+func TestOversubscriptionPlacement(t *testing.T) {
+	// More ranks than hosts wraps round-robin without error.
+	plat := platform.New("tiny")
+	h := plat.AddHost("only", 1e9)
+	_ = h
+	plat.AddHost("other", 1e9)
+	// two hosts, no links needed if all traffic is loopback on same host
+	cfg := Config{Procs: 4, Platform: plat}
+	mustRun(t, cfg, func(r *Rank) {
+		r.Compute(1e6)
+	})
+}
+
+func TestSpeedFactorScalesElapse(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.SpeedFactor = 2 // target nodes twice as slow as host measurements
+	rep := mustRun(t, cfg, func(r *Rank) {
+		r.SampleLocal("burst", 0, nil) // no samples: zero replay
+		r.Elapse(1)
+	})
+	if rep.SimulatedTime < 1 {
+		t.Errorf("simulated %v", rep.SimulatedTime)
+	}
+}

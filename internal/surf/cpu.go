@@ -1,0 +1,101 @@
+package surf
+
+import (
+	"smpigo/internal/core"
+	"smpigo/internal/platform"
+	"smpigo/internal/simix"
+)
+
+// CPU is the compute model: an Execute action drains a number of flops at
+// the host's speed, shared equally among concurrent actions on the same
+// host. In typical SMPI runs each rank is alone on its host, but the
+// sharing matters when oversubscribing ranks onto nodes.
+type CPU struct {
+	kernel *simix.Kernel
+
+	now   core.Time
+	tasks []*cpuTask
+	count map[*platform.Host]int
+}
+
+type cpuTask struct {
+	host      *platform.Host
+	remaining float64
+	rate      float64
+	future    *simix.Future
+}
+
+// NewCPU creates a CPU model bound to kernel.
+func NewCPU(kernel *simix.Kernel) *CPU {
+	return &CPU{kernel: kernel, count: make(map[*platform.Host]int)}
+}
+
+// Execute starts draining flops on host and returns a future fulfilled when
+// the work completes. Must be called from actor context.
+func (c *CPU) Execute(host *platform.Host, flops float64) *simix.Future {
+	f := simix.NewFuture()
+	c.now = c.kernel.Now()
+	if flops <= 0 {
+		c.kernel.FulfillAt(f, nil, c.now)
+		return f
+	}
+	t := &cpuTask{host: host, remaining: flops, future: f}
+	c.tasks = append(c.tasks, t)
+	c.count[host]++
+	c.reshare()
+	return f
+}
+
+// Delay charges a fixed simulated delay on host, converting through the
+// host's speed. It is how measured CPU-burst durations re-enter the
+// simulation (paper Section 3.1).
+func (c *CPU) Delay(host *platform.Host, d core.Duration) *simix.Future {
+	return c.Execute(host, float64(d)*host.Speed)
+}
+
+func (c *CPU) reshare() {
+	for _, t := range c.tasks {
+		t.rate = t.host.Speed / float64(c.count[t.host])
+	}
+}
+
+// InFlight returns the number of active compute actions.
+func (c *CPU) InFlight() int { return len(c.tasks) }
+
+// NextEvent implements simix.Model.
+func (c *CPU) NextEvent() core.Time {
+	next := core.TimeForever
+	for _, t := range c.tasks {
+		if t.rate > 0 {
+			if done := c.now + core.Duration(t.remaining/t.rate); done < next {
+				next = done
+			}
+		}
+	}
+	return next
+}
+
+// Advance implements simix.Model.
+func (c *CPU) Advance(to core.Time) {
+	dt := float64(to - c.now)
+	if dt < 0 {
+		return
+	}
+	c.now = to
+	changed := false
+	live := c.tasks[:0]
+	for _, t := range c.tasks {
+		t.remaining -= t.rate * dt
+		if t.remaining <= 1e-9*t.rate {
+			c.count[t.host]--
+			c.kernel.Fulfill(t.future, nil)
+			changed = true
+			continue
+		}
+		live = append(live, t)
+	}
+	c.tasks = live
+	if changed {
+		c.reshare()
+	}
+}

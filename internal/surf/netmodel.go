@@ -1,0 +1,102 @@
+// Package surf implements the analytical resource models of the simulation
+// kernel, mirroring SimGrid's SURF layer (paper Sections 4 and 5.1):
+//
+//   - a flow-level network model where concurrent transfers share link
+//     bandwidth max-min fairly (the validated SimGrid contention model), and
+//     where per-flow latency and rate bounds come from a piece-wise linear
+//     point-to-point model (the paper's Section 4.1 contribution);
+//   - a CPU model where compute actions share host speed.
+//
+// Both models plug into the simix kernel through its Model interface.
+package surf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Segment is one linear piece of the point-to-point communication model.
+// For a message of size s falling in this segment, transfer time over a
+// route with base latency L0 and bottleneck bandwidth B0 is modelled as
+//
+//	T(s) = LatFactor*L0 + s / (BwFactor*B0)
+//
+// Expressing the piece as *factors* over the route's physical parameters —
+// rather than absolute seconds and bytes/s — is what lets a calibration
+// performed on one cluster (griffon) be reused on another (gdx), the
+// property demonstrated by the paper's Figures 4 and 5.
+type Segment struct {
+	// MaxBytes is the exclusive upper bound of the segment; the last
+	// segment of a model uses math.MaxInt64.
+	MaxBytes int64
+	// LatFactor multiplies the route's physical latency.
+	LatFactor float64
+	// BwFactor multiplies the route's bottleneck bandwidth to produce the
+	// flow's intrinsic rate bound.
+	BwFactor float64
+}
+
+// NetModel is a piece-wise linear point-to-point model: an ordered list of
+// segments covering [0, +inf). An affine model is a NetModel with a single
+// segment, so the paper's three candidate models ("Default Affine",
+// "Best-Fit Affine", "Piece-Wise Linear") are all NetModel values.
+type NetModel struct {
+	// Name labels the model in reports ("piecewise", "default-affine", ...).
+	Name string
+	// Segments, sorted by MaxBytes, the last one unbounded.
+	Segments []Segment
+}
+
+// Validate reports the first structural problem with the model, if any.
+func (m NetModel) Validate() error {
+	if len(m.Segments) == 0 {
+		return fmt.Errorf("net model %q: no segments", m.Name)
+	}
+	if !sort.SliceIsSorted(m.Segments, func(i, j int) bool {
+		return m.Segments[i].MaxBytes < m.Segments[j].MaxBytes
+	}) {
+		return fmt.Errorf("net model %q: segments not sorted", m.Name)
+	}
+	if m.Segments[len(m.Segments)-1].MaxBytes != math.MaxInt64 {
+		return fmt.Errorf("net model %q: last segment must be unbounded", m.Name)
+	}
+	for i, s := range m.Segments {
+		if s.LatFactor < 0 || s.BwFactor <= 0 ||
+			math.IsNaN(s.LatFactor) || math.IsNaN(s.BwFactor) {
+			return fmt.Errorf("net model %q: segment %d has invalid factors (%v, %v)",
+				m.Name, i, s.LatFactor, s.BwFactor)
+		}
+	}
+	return nil
+}
+
+// Segment returns the piece covering messages of the given size.
+func (m NetModel) Segment(size int64) Segment {
+	for _, s := range m.Segments {
+		if size < s.MaxBytes {
+			return s
+		}
+	}
+	return m.Segments[len(m.Segments)-1]
+}
+
+// Affine returns a single-segment model with the given factors.
+func Affine(name string, latFactor, bwFactor float64) NetModel {
+	return NetModel{
+		Name:     name,
+		Segments: []Segment{{MaxBytes: math.MaxInt64, LatFactor: latFactor, BwFactor: bwFactor}},
+	}
+}
+
+// DefaultAffine returns the standard naive instantiation used by most of
+// the simulators the paper reviews: latency as measured with a 1-byte
+// message (factor over physical latency) and 92% of the nominal peak
+// bandwidth (the practical ceiling of TCP over Gigabit Ethernet).
+func DefaultAffine(oneByteLatFactor float64) NetModel {
+	return Affine("default-affine", oneByteLatFactor, 0.92)
+}
+
+// Ideal returns the physically ideal model (factors of exactly 1),
+// useful as a neutral baseline in tests.
+func Ideal() NetModel { return Affine("ideal", 1, 1) }

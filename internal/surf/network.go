@@ -1,0 +1,187 @@
+package surf
+
+import (
+	"smpigo/internal/core"
+	"smpigo/internal/lmm"
+	"smpigo/internal/platform"
+	"smpigo/internal/simix"
+)
+
+// Network is the flow-level analytical network model. Transfers are flows:
+// after a latency phase (scaled by the model's LatFactor) the flow's
+// remaining bytes drain at a rate computed by max-min sharing of link
+// capacities, capped by the model's BwFactor times the route bottleneck.
+//
+// With Contention disabled, sharing is skipped entirely and every flow
+// drains at its cap — the behaviour of the contention-blind simulators the
+// paper compares against (white bars of Figures 7 and 11).
+type Network struct {
+	kernel *simix.Kernel
+	model  NetModel
+	// Contention selects whether concurrent flows share link bandwidth.
+	Contention bool
+
+	// Loopback parameters for host-local transfers (rank to itself).
+	LoopbackLatency   core.Duration
+	LoopbackBandwidth float64
+
+	now  core.Time
+	sys  *lmm.System
+	cons map[*platform.Link]*lmm.Constraint
+	// flows is kept in start order so that completions, promotions, and
+	// therefore actor wakeups are deterministic run to run.
+	flows []*flow
+}
+
+type flow struct {
+	route  platform.Route
+	bound  float64
+	future *simix.Future
+
+	latEnd    core.Time // end of latency phase
+	started   bool      // transfer phase entered
+	remaining float64   // bytes left to drain
+	v         *lmm.Variable
+	rate      float64
+}
+
+// NewNetwork creates a network model bound to kernel, using the given
+// point-to-point model, with contention enabled.
+func NewNetwork(kernel *simix.Kernel, model NetModel) *Network {
+	if err := model.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{
+		kernel:            kernel,
+		model:             model,
+		Contention:        true,
+		LoopbackLatency:   500 * 1e-9,
+		LoopbackBandwidth: 4e9,
+		sys:               lmm.New(),
+		cons:              make(map[*platform.Link]*lmm.Constraint),
+	}
+}
+
+// Model returns the point-to-point model in use.
+func (n *Network) Model() NetModel { return n.model }
+
+// InFlight returns the number of active flows (for tests and stats).
+func (n *Network) InFlight() int { return len(n.flows) }
+
+// StartFlow begins transferring size bytes along route and returns a future
+// fulfilled (with nil) at delivery time. An empty route is a loopback
+// transfer. Must be called from actor context (i.e. at the current date).
+func (n *Network) StartFlow(route platform.Route, size int64, future *simix.Future) {
+	n.now = n.kernel.Now()
+	if len(route.Links) == 0 {
+		d := n.LoopbackLatency + core.Duration(float64(size)/n.LoopbackBandwidth)
+		n.kernel.FulfillAt(future, nil, n.now+d)
+		return
+	}
+	seg := n.model.Segment(size)
+	f := &flow{
+		route:     route,
+		bound:     seg.BwFactor * route.Bottleneck(),
+		future:    future,
+		latEnd:    n.now + core.Duration(seg.LatFactor)*route.Latency,
+		remaining: float64(size),
+	}
+	n.flows = append(n.flows, f)
+	// No reshare needed yet: the flow consumes no bandwidth during its
+	// latency phase. It joins the sharing system in Advance.
+}
+
+func (n *Network) constraint(l *platform.Link) *lmm.Constraint {
+	c, ok := n.cons[l]
+	if !ok {
+		c = n.sys.NewConstraint(l.Name, l.Bandwidth, l.Policy)
+		n.cons[l] = c
+	}
+	return c
+}
+
+// reshare recomputes flow rates after the set of transferring flows changed.
+func (n *Network) reshare() {
+	if !n.Contention {
+		for _, f := range n.flows {
+			if f.started {
+				f.rate = f.bound
+			}
+		}
+		return
+	}
+	n.sys.Solve()
+	for _, f := range n.flows {
+		if f.started {
+			f.rate = f.v.Value
+		}
+	}
+}
+
+// NextEvent implements simix.Model.
+func (n *Network) NextEvent() core.Time {
+	next := core.TimeForever
+	for _, f := range n.flows {
+		if !f.started {
+			if f.latEnd < next {
+				next = f.latEnd
+			}
+		} else if f.rate > 0 {
+			if t := n.now + core.Duration(f.remaining/f.rate); t < next {
+				next = t
+			}
+		}
+	}
+	return next
+}
+
+// Advance implements simix.Model: drains bytes until date to, promotes
+// flows out of their latency phase, and completes finished flows.
+func (n *Network) Advance(to core.Time) {
+	dt := float64(to - n.now)
+	if dt < 0 {
+		return
+	}
+	n.now = to
+
+	changed := false
+	for _, f := range n.flows {
+		if f.started {
+			f.remaining -= f.rate * dt
+		}
+	}
+	// Promote flows whose latency ended.
+	for _, f := range n.flows {
+		if !f.started && f.latEnd <= to+1e-15 {
+			f.started = true
+			if f.remaining <= 0 {
+				continue // zero-byte control flow: completes below
+			}
+			if n.Contention {
+				f.v = n.sys.NewVariable("flow", 1, f.bound)
+				for _, l := range f.route.Links {
+					n.sys.Attach(f.v, n.constraint(l))
+				}
+			}
+			changed = true
+		}
+	}
+	// Complete drained flows, preserving start order. A byte tolerance
+	// absorbs floating-point drift.
+	live := n.flows[:0]
+	for _, f := range n.flows {
+		if f.started && f.remaining <= 1e-6 {
+			if f.v != nil {
+				n.sys.RemoveVariable(f.v)
+			}
+			n.kernel.Fulfill(f.future, nil)
+			changed = true
+			continue
+		}
+		live = append(live, f)
+	}
+	n.flows = live
+	if changed {
+		n.reshare()
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"smpigo/internal/core"
+)
+
+func TestRecorderAssignsSequentialRequestIndices(t *testing.T) {
+	tr := New(2)
+	if idx := tr.RecordIsend(0, 1, 5, 100); idx != 0 {
+		t.Errorf("first request index = %d, want 0", idx)
+	}
+	idx, resolve := tr.RecordIrecv(0, -1, 5, 100)
+	if idx != 1 {
+		t.Errorf("second request index = %d, want 1", idx)
+	}
+	if idx := tr.RecordIsend(1, 0, 5, 100); idx != 0 {
+		t.Errorf("other rank's first index = %d, want 0 (per-rank counters)", idx)
+	}
+	resolve(1)
+	if tr.Streams[0][1].Peer != 1 {
+		t.Error("resolver did not patch the wildcard peer")
+	}
+}
+
+func TestRecordWaitAndCompute(t *testing.T) {
+	tr := New(1)
+	tr.RecordCompute(0, 0.25)
+	tr.RecordIsend(0, 0, 0, 8)
+	tr.RecordWait(0, 0)
+	if tr.Events() != 3 {
+		t.Fatalf("events = %d, want 3", tr.Events())
+	}
+	if tr.Streams[0][0].Kind != Compute || tr.Streams[0][0].Duration != 0.25 {
+		t.Errorf("compute event wrong: %+v", tr.Streams[0][0])
+	}
+	if tr.Streams[0][2].Kind != Wait || tr.Streams[0][2].Req != 0 {
+		t.Errorf("wait event wrong: %+v", tr.Streams[0][2])
+	}
+}
+
+// Property: any trace built from random events round-trips through the
+// text serialization unchanged.
+func TestSerializationRoundTripProperty(t *testing.T) {
+	f := func(events []uint32) bool {
+		const procs = 3
+		tr := New(procs)
+		for _, raw := range events {
+			rank := int(raw % procs)
+			switch (raw / 4) % 4 {
+			case 0:
+				tr.RecordCompute(rank, core.Duration(raw%1000)/1000)
+			case 1:
+				tr.RecordIsend(rank, int(raw%procs), int(raw%7), int64(raw%100000))
+			case 2:
+				tr.RecordIrecv(rank, int(raw%procs), int(raw%7), int64(raw%100000))
+			case 3:
+				if tr.reqCounts[rank] > 0 {
+					tr.RecordWait(rank, int(raw)%tr.reqCounts[rank])
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Procs != tr.Procs || back.Events() != tr.Events() {
+			return false
+		}
+		for rank := range tr.Streams {
+			for i, ev := range tr.Streams[rank] {
+				if back.Streams[rank][i] != ev {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	tr := New(4)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Procs != 4 || back.Events() != 0 {
+		t.Errorf("empty roundtrip: procs=%d events=%d", back.Procs, back.Events())
+	}
+}
