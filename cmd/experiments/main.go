@@ -1,13 +1,27 @@
 // Command experiments regenerates the figures of the paper's evaluation
-// (Section 7). Each figure prints as an aligned text table with the error
-// summaries the paper quotes. Running with -fig all reproduces the whole
-// campaign; EXPERIMENTS.md records paper-vs-measured for each figure.
+// (Section 7) and runs arbitrary scenario campaigns beyond them. Each
+// figure's independent simulations fan out over a bounded worker pool;
+// simulated results are bit-identical at any -parallel setting because every
+// job's RNG seed derives from the campaign seed and the job's identity, not
+// from scheduling order.
+//
+// Usage:
+//
+//	experiments [-fig all] [-fast] [-parallel N] [-seed S] [-json]
+//	experiments campaign -op scatter -procs 4,8,16 -sizes 64KiB,1MiB,4MiB \
+//	    [-models piecewise,bestfit] [-backends surf,openmpi] \
+//	    [-platform griffon] [-parallel N] [-seed S] [-json]
+//
+// Running with -fig all reproduces the whole campaign; EXPERIMENTS.md
+// records paper-vs-measured for each figure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"smpigo/internal/core"
@@ -15,24 +29,43 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,11,12,15,16,17,18 or all")
-	fast := flag.Bool("fast", false, "reduce payloads for quicker (shape-preserving) runs")
-	flag.Parse()
-	if err := run(*fig, *fast); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "campaign" {
+		err = runCampaign(args[1:])
+	} else {
+		err = runFigures(args)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figArg string, fast bool) error {
+func runFigures(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,11,12,15,16,17,18 or all")
+	fast := fs.Bool("fast", false, "reduce payloads for quicker (shape-preserving) runs")
+	parallel := fs.Int("parallel", 0, "worker-pool size for each figure's simulations (0 = GOMAXPROCS)")
+	seed := fs.Uint64("seed", 0, "campaign seed; per-job seeds derive from it")
+	jsonOut := fs.Bool("json", false, "emit the figure tables as JSON instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (the \"campaign\" subcommand must come first: experiments campaign ...)", fs.Arg(0))
+	}
+
 	env, err := experiments.NewEnv()
 	if err != nil {
 		return err
 	}
+	env.Workers = *parallel
+	env.Seed = *seed
 	dtPayload := 0 // class defaults
 	epM := 22
 	figScale := 1.0
-	if fast {
+	if *fast {
 		dtPayload = 512 * 1024
 		epM = 19
 		figScale = 1.0 / 16
@@ -81,9 +114,9 @@ func run(figArg string, fast bool) error {
 		}},
 	}
 
-	want := strings.Split(figArg, ",")
+	want := strings.Split(*fig, ",")
 	match := func(id string) bool {
-		if figArg == "all" {
+		if *fig == "all" {
 			return true
 		}
 		for _, w := range want {
@@ -93,7 +126,7 @@ func run(figArg string, fast bool) error {
 		}
 		return false
 	}
-	ran := 0
+	var tables []*experiments.Table
 	for _, f := range figures {
 		if !match(f.id) {
 			continue
@@ -102,13 +135,120 @@ func run(figArg string, fast bool) error {
 		if err != nil {
 			return fmt.Errorf("figure %s: %w", f.id, err)
 		}
-		fmt.Println(t.String())
-		ran++
+		tables = append(tables, t)
+		if !*jsonOut {
+			fmt.Println(t.String())
+		}
 	}
-	if ran == 0 {
-		return fmt.Errorf("no figure matches %q", figArg)
+	if len(tables) == 0 {
+		return fmt.Errorf("no figure matches %q", *fig)
+	}
+	if *jsonOut {
+		return emitJSON(tables)
 	}
 	return nil
+}
+
+func runCampaign(args []string) error {
+	fs := flag.NewFlagSet("experiments campaign", flag.ExitOnError)
+	op := fs.String("op", "scatter", "operation to sweep: scatter, alltoall, pingpong")
+	procsArg := fs.String("procs", "16", "comma-separated process counts, e.g. 4,8,16,32")
+	sizesArg := fs.String("sizes", "64KiB,1MiB,4MiB", "comma-separated message sizes, e.g. 64KiB,1MiB")
+	modelsArg := fs.String("models", "piecewise", "comma-separated surf models: piecewise,bestfit,default,ideal")
+	backendsArg := fs.String("backends", "surf", "comma-separated backends: surf,openmpi,mpich2")
+	platformArg := fs.String("platform", "griffon", "target platform: griffon or gdx")
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	seed := fs.Uint64("seed", 0, "campaign seed; per-job seeds derive from it")
+	jsonOut := fs.Bool("json", false, "emit the full campaign summary as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	procs, err := parseInts(*procsArg)
+	if err != nil {
+		return fmt.Errorf("-procs: %w", err)
+	}
+	if strings.EqualFold(*op, "pingpong") && len(procs) > 1 {
+		fmt.Fprintln(os.Stderr, "note: pingpong always runs between two fixed endpoints; ignoring the extra -procs values")
+	}
+	sizes, err := parseSizes(*sizesArg)
+	if err != nil {
+		return fmt.Errorf("-sizes: %w", err)
+	}
+	spec := experiments.GridSpec{
+		Op:       *op,
+		Procs:    procs,
+		Sizes:    sizes,
+		Models:   splitList(*modelsArg),
+		Backends: splitList(*backendsArg),
+		Platform: *platformArg,
+	}
+
+	env, err := experiments.NewEnv()
+	if err != nil {
+		return err
+	}
+	env.Workers = *parallel
+	env.Seed = *seed
+	sum, err := env.GridCampaign(spec)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if err := emitJSON(sum); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(experiments.GridTable(spec, sum).String())
+	}
+	if sum.Failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", sum.Failed, sum.Jobs)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseSizes(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range splitList(s) {
+		v, err := core.ParseBytes(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func tbl(r *experiments.PingPongResult, err error) (*experiments.Table, error) {

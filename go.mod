@@ -1,0 +1,3 @@
+module smpigo
+
+go 1.24

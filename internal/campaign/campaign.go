@@ -1,0 +1,277 @@
+// Package campaign is a deterministic parallel experiment runner: it
+// executes many independent simulations concurrently over a bounded worker
+// pool and aggregates their results into a single summary.
+//
+// The design mirrors the discipline of SKaMPI-style measurement harnesses
+// sweeping message sizes and process counts (the paper's Section 6
+// methodology): a campaign is a flat list of independent jobs, each fully
+// described by its ID and scenario tags. Determinism is structural rather
+// than accidental:
+//
+//   - every job receives an RNG seeded by core.DeriveSeed(campaign seed,
+//     job ID), so its random stream is a pure function of the campaign seed
+//     and the job's identity — never of worker count or scheduling order;
+//   - results are collected into a slice indexed by submission order, so
+//     aggregation never observes completion order;
+//   - a panicking job is isolated: the panic is captured (with its stack)
+//     as that job's error and the rest of the campaign keeps running.
+//
+// Simulated quantities are therefore bit-identical at any Workers setting;
+// only wall-clock fields vary run to run.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"smpigo/internal/core"
+)
+
+// Job is one independent unit of a campaign: typically a single simulation
+// run at one point of a scenario grid.
+type Job struct {
+	// ID identifies the job inside its campaign; it must be unique because
+	// it keys the job's derived RNG seed. Use a readable coordinate string
+	// such as "fig8/scatter/size=4MiB/backend=surf".
+	ID string
+	// Tags are free-form scenario coordinates carried through to the result
+	// (figure, operation, size, model, backend, ...).
+	Tags map[string]string
+	// Run executes the job. It must not retain ctx past its return. Any
+	// panic is captured as the job's error without affecting other jobs.
+	Run func(ctx *Ctx) (*Outcome, error)
+}
+
+// Ctx is the deterministic identity handed to a running job.
+type Ctx struct {
+	// ID is the job's ID.
+	ID string
+	// Seed is derived from the campaign seed and the job ID; pass it to
+	// smpi.Config.Seed (or seed any other generator) so the job's stream is
+	// independent of scheduling.
+	Seed uint64
+	// RNG is a generator pre-seeded with Seed for convenience.
+	RNG *core.RNG
+}
+
+// Outcome is what a successful job reports back.
+type Outcome struct {
+	// SimulatedTime is the job's headline simulated quantity in seconds
+	// (e.g. smpi.Report.SimulatedTime). Zero is fine for jobs where it is
+	// meaningless.
+	SimulatedTime core.Time `json:"simulated_s"`
+	// Values holds named scalar results (error percentages, byte counts,
+	// per-rank times flattened, ...). They participate in the campaign
+	// fingerprint, so they must be deterministic.
+	Values map[string]float64 `json:"values,omitempty"`
+	// Payload carries an arbitrary rich result to the caller (a table, a
+	// sample set). It is not serialized and not fingerprinted.
+	Payload any `json:"-"`
+}
+
+// Result couples a job with its outcome or failure.
+type Result struct {
+	ID   string            `json:"id"`
+	Tags map[string]string `json:"tags,omitempty"`
+	Seed uint64            `json:"seed"`
+	// Outcome is nil when the job failed.
+	Outcome *Outcome `json:"outcome,omitempty"`
+	// Err is the job's failure (an error return or a captured panic).
+	Err error `json:"-"`
+	// Error mirrors Err as a string for JSON output.
+	Error string `json:"error,omitempty"`
+	// Panicked reports that Err came from a recovered panic.
+	Panicked bool `json:"panicked,omitempty"`
+	// Wall is the job's wall-clock duration (nondeterministic; excluded
+	// from the fingerprint).
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// Options parameterizes a campaign run.
+type Options struct {
+	// Workers bounds the worker pool; 0 or negative means GOMAXPROCS.
+	Workers int
+	// Seed is the campaign seed every job seed derives from.
+	Seed uint64
+}
+
+// Summary aggregates a completed campaign.
+type Summary struct {
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	Jobs    int    `json:"jobs"`
+	Failed  int    `json:"failed"`
+	// Results are in job submission order, independent of completion order.
+	Results []Result `json:"results"`
+	// TotalSimulated and MaxSimulated aggregate the jobs' simulated times.
+	TotalSimulated core.Time `json:"total_simulated_s"`
+	MaxSimulated   core.Time `json:"max_simulated_s"`
+	// Wall is the whole campaign's wall-clock duration.
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// Run executes jobs over the worker pool and returns the campaign summary.
+// Job IDs must be unique; duplicates are reported as failures of the later
+// job without running it.
+func Run(opts Options, jobs []Job) *Summary {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	sum := &Summary{
+		Seed:    opts.Seed,
+		Workers: workers,
+		Jobs:    len(jobs),
+		Results: make([]Result, len(jobs)),
+	}
+
+	seen := make(map[string]bool, len(jobs))
+	dup := make([]bool, len(jobs))
+	for i, j := range jobs {
+		if seen[j.ID] {
+			dup[i] = true
+		}
+		seen[j.ID] = true
+	}
+
+	start := time.Now()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sum.Results[i] = runOne(opts.Seed, jobs[i], dup[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	sum.Wall = time.Since(start)
+
+	for i := range sum.Results {
+		r := &sum.Results[i]
+		if r.Err != nil {
+			sum.Failed++
+			r.Error = r.Err.Error()
+			continue
+		}
+		if r.Outcome != nil {
+			sum.TotalSimulated += r.Outcome.SimulatedTime
+			if r.Outcome.SimulatedTime > sum.MaxSimulated {
+				sum.MaxSimulated = r.Outcome.SimulatedTime
+			}
+		}
+	}
+	return sum
+}
+
+// runOne executes a single job with panic isolation.
+func runOne(seed uint64, job Job, duplicate bool) (res Result) {
+	res.ID = job.ID
+	res.Tags = job.Tags
+	res.Seed = core.DeriveSeed(seed, job.ID)
+	if duplicate {
+		res.Err = fmt.Errorf("campaign: duplicate job ID %q", job.ID)
+		return res
+	}
+	start := time.Now()
+	defer func() {
+		res.Wall = time.Since(start)
+		if r := recover(); r != nil {
+			res.Outcome = nil
+			res.Panicked = true
+			res.Err = fmt.Errorf("campaign: job %q panicked: %v\n%s", job.ID, r, debug.Stack())
+		}
+	}()
+	ctx := &Ctx{ID: job.ID, Seed: res.Seed, RNG: core.NewRNG(res.Seed)}
+	out, err := job.Run(ctx)
+	if err != nil {
+		res.Err = fmt.Errorf("campaign: job %q: %w", job.ID, err)
+		return res
+	}
+	res.Outcome = out
+	return res
+}
+
+// Err returns the first failed job's error (in submission order), or nil.
+func (s *Summary) Err() error {
+	for i := range s.Results {
+		if s.Results[i].Err != nil {
+			return s.Results[i].Err
+		}
+	}
+	return nil
+}
+
+// Outcomes returns the jobs' outcomes in submission order. It errors if any
+// job failed, so callers can index positionally without nil checks.
+func (s *Summary) Outcomes() ([]*Outcome, error) {
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	outs := make([]*Outcome, len(s.Results))
+	for i := range s.Results {
+		outs[i] = s.Results[i].Outcome
+	}
+	return outs, nil
+}
+
+// Fingerprint hashes every deterministic field of the summary — job IDs,
+// seeds, simulated times, and outcome values in sorted key order — into a
+// hex string. Two runs of the same campaign fingerprint identically no
+// matter how many workers executed them; wall-clock fields are excluded.
+func (s *Summary) Fingerprint() string {
+	h := uint64(0x5ca1ab1e) ^ s.Seed
+	mixStr := func(str string) {
+		for i := 0; i < len(str); i++ {
+			h = (h ^ uint64(str[i])) * 0x100000001b3
+		}
+	}
+	mixU64 := func(v uint64) {
+		for shift := 0; shift < 64; shift += 8 {
+			h = (h ^ (v >> shift & 0xff)) * 0x100000001b3
+		}
+	}
+	for i := range s.Results {
+		r := &s.Results[i]
+		mixStr(r.ID)
+		mixU64(r.Seed)
+		if r.Err != nil {
+			mixStr("failed")
+			continue
+		}
+		if r.Outcome == nil {
+			continue
+		}
+		mixU64(math.Float64bits(float64(r.Outcome.SimulatedTime)))
+		keys := make([]string, 0, len(r.Outcome.Values))
+		for k := range r.Outcome.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			mixStr(k)
+			mixU64(math.Float64bits(r.Outcome.Values[k]))
+		}
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// JSON renders the summary as indented JSON with stable field order.
+func (s *Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -15,10 +15,7 @@ func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return mix64(r.state)
 }
 
 // Float64 returns a uniform value in [0, 1).
@@ -54,4 +51,33 @@ func (r *RNG) Normal(mean, stddev float64) float64 {
 // simulated rank its own stream without cross-rank coupling.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
+}
+
+// Derive returns an independent child generator keyed by label, without
+// consuming any of the parent's stream: unlike Split, the parent state is
+// read but not advanced, so the derived stream depends only on (seed, label)
+// and never on how many other children were derived first. Campaign runners
+// rely on this to hand every job a seed that is identical regardless of
+// worker count or scheduling order.
+func (r *RNG) Derive(label string) *RNG {
+	return NewRNG(DeriveSeed(r.state, label))
+}
+
+// DeriveSeed mixes a seed with a label into a well-distributed child seed.
+// It hashes the label FNV-1a style into the seed and passes the result
+// through the SplitMix64 finalizer twice, so labels differing in one bit
+// (or one character) yield decorrelated streams.
+func DeriveSeed(seed uint64, label string) uint64 {
+	h := seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * 0x100000001b3
+	}
+	return mix64(mix64(h + 0x9e3779b97f4a7c15))
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche over 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }

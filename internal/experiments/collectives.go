@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
+	"smpigo/internal/campaign"
 	"smpigo/internal/core"
 	"smpigo/internal/metrics"
 	"smpigo/internal/smpi"
@@ -75,6 +77,47 @@ func runAlltoall(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error
 	return out, nil
 }
 
+// collectiveJob wraps one collective run as a campaign job whose payload is
+// the *collectiveRun. The job's derived seed flows into the simulation
+// config, so every scenario point is reproducible in isolation.
+func collectiveJob(id string, cfg smpi.Config, procs int, chunk int64,
+	run func(smpi.Config, int, int64) (*collectiveRun, error)) campaign.Job {
+	return campaign.Job{
+		ID:   id,
+		Tags: map[string]string{"procs": fmt.Sprint(procs), "size": core.FormatBytes(chunk)},
+		Run: func(ctx *campaign.Ctx) (*campaign.Outcome, error) {
+			cfg.Seed = ctx.Seed
+			out, err := run(cfg, procs, chunk)
+			if err != nil {
+				return nil, err
+			}
+			vals := make(map[string]float64, procs)
+			for i, t := range out.PerRank {
+				vals[fmt.Sprintf("rank_%d", i)] = t
+			}
+			return &campaign.Outcome{
+				SimulatedTime: core.Time(out.Total),
+				Values:        vals,
+				Payload:       out,
+			}, nil
+		},
+	}
+}
+
+// collectiveRuns fans the given jobs out on the env's pool and unwraps the
+// *collectiveRun payloads in submission order.
+func collectiveRuns(env *Env, jobs []campaign.Job) ([]*collectiveRun, error) {
+	outs, err := env.runCampaign(jobs)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]*collectiveRun, len(outs))
+	for i, o := range outs {
+		runs[i] = o.Payload.(*collectiveRun)
+	}
+	return runs, nil
+}
+
 // PerRankResult holds a per-rank comparison figure (Figures 7 and 11).
 type PerRankResult struct {
 	Table *Table
@@ -89,26 +132,20 @@ func Figure7(env *Env) (*PerRankResult, error) {
 	const procs = 16
 	chunk := int64(4 * core.MiB)
 
-	withC, err := runScatter(surfConfig(env.Griffon, env.Piecewise), procs, chunk)
-	if err != nil {
-		return nil, err
-	}
 	noCfg := surfConfig(env.Griffon, env.Piecewise)
 	noCfg.NoContention = true
-	without, err := runScatter(noCfg, procs, chunk)
-	if err != nil {
-		return nil, err
-	}
-	om, err := runScatter(emuConfig(env.Griffon), procs, chunk)
-	if err != nil {
-		return nil, err
-	}
 	mpichCfg := emuConfig(env.Griffon)
 	mpichCfg.Impl = mpich2()
-	mp, err := runScatter(mpichCfg, procs, chunk)
+	runs, err := collectiveRuns(env, []campaign.Job{
+		collectiveJob("fig7/scatter/smpi", surfConfig(env.Griffon, env.Piecewise), procs, chunk, runScatter),
+		collectiveJob("fig7/scatter/smpi-nocontention", noCfg, procs, chunk, runScatter),
+		collectiveJob("fig7/scatter/openmpi", emuConfig(env.Griffon), procs, chunk, runScatter),
+		collectiveJob("fig7/scatter/mpich2", mpichCfg, procs, chunk, runScatter),
+	})
 	if err != nil {
 		return nil, err
 	}
+	withC, without, om, mp := runs[0], runs[1], runs[2], runs[3]
 
 	res := &PerRankResult{
 		Table: &Table{
@@ -138,20 +175,17 @@ func Figure11(env *Env) (*PerRankResult, error) {
 	const procs = 16
 	chunk := int64(4 * core.MiB)
 
-	withC, err := runAlltoall(surfConfig(env.Griffon, env.Piecewise), procs, chunk)
-	if err != nil {
-		return nil, err
-	}
 	noCfg := surfConfig(env.Griffon, env.Piecewise)
 	noCfg.NoContention = true
-	without, err := runAlltoall(noCfg, procs, chunk)
+	runs, err := collectiveRuns(env, []campaign.Job{
+		collectiveJob("fig11/alltoall/smpi", surfConfig(env.Griffon, env.Piecewise), procs, chunk, runAlltoall),
+		collectiveJob("fig11/alltoall/smpi-nocontention", noCfg, procs, chunk, runAlltoall),
+		collectiveJob("fig11/alltoall/openmpi", emuConfig(env.Griffon), procs, chunk, runAlltoall),
+	})
 	if err != nil {
 		return nil, err
 	}
-	om, err := runAlltoall(emuConfig(env.Griffon), procs, chunk)
-	if err != nil {
-		return nil, err
-	}
+	withC, without, om := runs[0], runs[1], runs[2]
 
 	res := &PerRankResult{
 		Table: &Table{
@@ -212,15 +246,23 @@ func sweepCollective(env *Env, title string,
 		Title:  title,
 		Header: []string{"size", "smpi_s", "openmpi_s", "err_pct"},
 	}}
-	for _, size := range sweepSizes() {
-		s, err := run(surfConfig(env.Griffon, env.Piecewise), procs, size)
-		if err != nil {
-			return nil, err
-		}
-		o, err := run(emuConfig(env.Griffon), procs, size)
-		if err != nil {
-			return nil, err
-		}
+	// The whole size sweep — every (size, backend) point — is one campaign.
+	sizes := sweepSizes()
+	var jobs []campaign.Job
+	for _, size := range sizes {
+		jobs = append(jobs,
+			collectiveJob(fmt.Sprintf("%s/size=%s/smpi", title, core.FormatBytes(size)),
+				surfConfig(env.Griffon, env.Piecewise), procs, size, run),
+			collectiveJob(fmt.Sprintf("%s/size=%s/openmpi", title, core.FormatBytes(size)),
+				emuConfig(env.Griffon), procs, size, run),
+		)
+	}
+	runs, err := collectiveRuns(env, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, size := range sizes {
+		s, o := runs[2*i], runs[2*i+1]
 		res.X = append(res.X, size)
 		res.Pred = append(res.Pred, s.Total)
 		res.Ref = append(res.Ref, o.Total)
@@ -242,21 +284,26 @@ func Figure9(env *Env) (*SweepResult, error) {
 		Title:  "Figure 9: scatter time vs process count (4MiB receive buffers)",
 		Header: []string{"procs", "smpi_s", "openmpi_s", "mpich2_s", "err_pct"},
 	}}
-	for _, procs := range []int{4, 8, 16, 32} {
-		s, err := runScatter(surfConfig(env.Griffon, env.Piecewise), procs, chunk)
-		if err != nil {
-			return nil, err
-		}
-		o, err := runScatter(emuConfig(env.Griffon), procs, chunk)
-		if err != nil {
-			return nil, err
-		}
+	procCounts := []int{4, 8, 16, 32}
+	var jobs []campaign.Job
+	for _, procs := range procCounts {
 		mpichCfg := emuConfig(env.Griffon)
 		mpichCfg.Impl = mpich2()
-		m, err := runScatter(mpichCfg, procs, chunk)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			collectiveJob(fmt.Sprintf("fig9/procs=%d/smpi", procs),
+				surfConfig(env.Griffon, env.Piecewise), procs, chunk, runScatter),
+			collectiveJob(fmt.Sprintf("fig9/procs=%d/openmpi", procs),
+				emuConfig(env.Griffon), procs, chunk, runScatter),
+			collectiveJob(fmt.Sprintf("fig9/procs=%d/mpich2", procs),
+				mpichCfg, procs, chunk, runScatter),
+		)
+	}
+	runs, err := collectiveRuns(env, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, procs := range procCounts {
+		s, o, m := runs[3*i], runs[3*i+1], runs[3*i+2]
 		res.X = append(res.X, int64(procs))
 		res.Pred = append(res.Pred, s.Total)
 		res.Ref = append(res.Ref, o.Total)

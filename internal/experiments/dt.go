@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"smpigo/internal/campaign"
 	"smpigo/internal/core"
 	"smpigo/internal/metrics"
 	"smpigo/internal/nas"
@@ -19,7 +20,7 @@ type DTResult struct {
 }
 
 // dtRun executes one DT instance.
-func dtRun(env *Env, cfg nas.DTConfig, backend smpi.Backend, payload int) (*smpi.Report, error) {
+func dtRun(env *Env, cfg nas.DTConfig, backend smpi.Backend, payload int, seed uint64) (*smpi.Report, error) {
 	procs, err := nas.DTProcs(cfg.Graph, cfg.Class)
 	if err != nil {
 		return nil, err
@@ -33,7 +34,27 @@ func dtRun(env *Env, cfg nas.DTConfig, backend smpi.Backend, payload int) (*smpi
 		run = emuConfig(env.Griffon)
 	}
 	run.Procs = procs
+	run.Seed = seed
 	return smpi.Run(run, app)
+}
+
+// dtJob wraps one DT instance as a campaign job with the report as payload.
+func dtJob(id string, env *Env, cfg nas.DTConfig, backend smpi.Backend, payload int) campaign.Job {
+	return campaign.Job{
+		ID:   id,
+		Tags: map[string]string{"app": "dt", "graph": string(cfg.Graph), "class": string(cfg.Class)},
+		Run: func(ctx *campaign.Ctx) (*campaign.Outcome, error) {
+			rep, err := dtRun(env, cfg, backend, payload, ctx.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return &campaign.Outcome{
+				SimulatedTime: rep.SimulatedTime,
+				Values:        map[string]float64{"max_rss": rep.MaxPeakRSS},
+				Payload:       rep,
+			}, nil
+		},
+	}
 }
 
 // Figure15 reproduces Figure 15: DT WH and BH for classes A and B, SMPI
@@ -48,26 +69,41 @@ func Figure15(env *Env, payload int) (*DTResult, error) {
 		SMPI:    make(map[string]float64),
 		OpenMPI: make(map[string]float64),
 	}
-	var pred, ref []float64
+	// The per-(graph, class) payload scan fans out as one campaign: each
+	// scenario point runs on both backends concurrently.
+	type point struct {
+		graph nas.DTGraph
+		class nas.DTClass
+	}
+	var points []point
+	var jobs []campaign.Job
 	for _, class := range []nas.DTClass{nas.ClassA, nas.ClassB} {
 		for _, graph := range []nas.DTGraph{nas.WH, nas.BH} {
-			s, err := dtRun(env, nas.DTConfig{Graph: graph, Class: class}, smpi.BackendSurf, payload)
-			if err != nil {
-				return nil, err
-			}
-			o, err := dtRun(env, nas.DTConfig{Graph: graph, Class: class}, smpi.BackendEmu, payload)
-			if err != nil {
-				return nil, err
-			}
-			key := fmt.Sprintf("%s-%c", graph, class)
-			res.SMPI[key] = float64(s.SimulatedTime)
-			res.OpenMPI[key] = float64(o.SimulatedTime)
-			pred = append(pred, float64(s.SimulatedTime))
-			ref = append(ref, float64(o.SimulatedTime))
-			res.Table.Add(string(graph), string(class),
-				float64(s.SimulatedTime), float64(o.SimulatedTime),
-				metrics.ToPercent(metrics.LogError(float64(s.SimulatedTime), float64(o.SimulatedTime))))
+			points = append(points, point{graph, class})
+			cfg := nas.DTConfig{Graph: graph, Class: class}
+			id := fmt.Sprintf("fig15/%s-%c", graph, class)
+			jobs = append(jobs,
+				dtJob(id+"/smpi", env, cfg, smpi.BackendSurf, payload),
+				dtJob(id+"/openmpi", env, cfg, smpi.BackendEmu, payload),
+			)
 		}
+	}
+	outs, err := env.runCampaign(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var pred, ref []float64
+	for i, pt := range points {
+		s := outs[2*i].Payload.(*smpi.Report)
+		o := outs[2*i+1].Payload.(*smpi.Report)
+		key := fmt.Sprintf("%s-%c", pt.graph, pt.class)
+		res.SMPI[key] = float64(s.SimulatedTime)
+		res.OpenMPI[key] = float64(o.SimulatedTime)
+		pred = append(pred, float64(s.SimulatedTime))
+		ref = append(ref, float64(o.SimulatedTime))
+		res.Table.Add(string(pt.graph), string(pt.class),
+			float64(s.SimulatedTime), float64(o.SimulatedTime),
+			metrics.ToPercent(metrics.LogError(float64(s.SimulatedTime), float64(o.SimulatedTime))))
 	}
 	res.Summary = metrics.Summarize(pred, ref)
 	res.Table.Note("overall: %s", res.Summary)
@@ -110,49 +146,87 @@ func Figure16(env *Env, payloadScale float64, hostRAM float64) (*RAMResult, erro
 	cfgRun := surfConfig(env.Griffon, env.Piecewise)
 	cfgRun.NoContention = true // timing-irrelevant; avoids O(flows^2) sharing cost
 
+	// One campaign covers every configuration: a folded run for each
+	// (graph, class), plus an unfolded run when it fits in hostRAM.
+	type cfgPoint struct {
+		graph    nas.DTGraph
+		class    nas.DTClass
+		procs    int
+		key      string
+		foldIdx  int
+		plainIdx int // -1 when the unfolded run would not fit (paper's OM)
+	}
+	runJob := func(id string, dcfg nas.DTConfig, procs int) campaign.Job {
+		return campaign.Job{
+			ID:   id,
+			Tags: map[string]string{"app": "dt", "graph": string(dcfg.Graph), "class": string(dcfg.Class)},
+			Run: func(ctx *campaign.Ctx) (*campaign.Outcome, error) {
+				run := cfgRun
+				run.Procs = procs
+				run.Seed = ctx.Seed
+				app, _ := nas.DT(dcfg)
+				rep, err := smpi.Run(run, app)
+				if err != nil {
+					return nil, err
+				}
+				return &campaign.Outcome{
+					SimulatedTime: rep.SimulatedTime,
+					Values:        map[string]float64{"max_rss": rep.MaxPeakRSS},
+					Payload:       rep,
+				}, nil
+			},
+		}
+	}
+	var points []cfgPoint
+	var jobs []campaign.Job
 	for _, class := range []nas.DTClass{nas.ClassA, nas.ClassB, nas.ClassC} {
 		for _, graph := range []nas.DTGraph{nas.WH, nas.BH, nas.SH} {
 			procs, err := nas.DTProcs(graph, class)
 			if err != nil {
 				return nil, err
 			}
-			key := fmt.Sprintf("%s-%c", graph, class)
+			pt := cfgPoint{
+				graph: graph, class: class, procs: procs,
+				key: fmt.Sprintf("%s-%c", graph, class), plainIdx: -1,
+			}
 			base := nas.DTConfig{Graph: graph, Class: class}
 			payload := int(payloadScale * float64(dtClassPayload(class)))
 
-			// Folded run always fits.
 			fold := base
 			fold.Fold = true
 			fold.PayloadBytes = payload
-			run := cfgRun
-			run.Procs = procs
-			fApp, _ := nas.DT(fold)
-			fRep, err := smpi.Run(run, fApp)
-			if err != nil {
-				return nil, fmt.Errorf("folded %s: %w", key, err)
-			}
-			res.Folded[key] = fRep.MaxPeakRSS / payloadScale
+			pt.foldIdx = len(jobs)
+			jobs = append(jobs, runJob("fig16/"+pt.key+"/folded", fold, procs))
 
-			// Unfolded run: classify OM against the unscaled footprint.
-			unscaled := float64(procs) * 2 * float64(dtClassPayload(class))
-			if unscaled > hostRAM {
-				res.Table.Add(string(graph), string(class), procs, "OM",
-					res.Folded[key]/float64(core.MiB), "-")
-				continue
+			// Classify OM against the unscaled footprint: only runs that fit
+			// in hostRAM execute unfolded.
+			if unscaled := float64(procs) * 2 * float64(dtClassPayload(class)); unscaled <= hostRAM {
+				plain := base
+				plain.PayloadBytes = payload
+				pt.plainIdx = len(jobs)
+				jobs = append(jobs, runJob("fig16/"+pt.key+"/plain", plain, procs))
 			}
-			plain := base
-			plain.PayloadBytes = payload
-			pApp, _ := nas.DT(plain)
-			pRep, err := smpi.Run(run, pApp)
-			if err != nil {
-				return nil, fmt.Errorf("plain %s: %w", key, err)
-			}
-			res.Plain[key] = pRep.MaxPeakRSS / payloadScale
-			res.Table.Add(string(graph), string(class), procs,
-				res.Plain[key]/float64(core.MiB),
-				res.Folded[key]/float64(core.MiB),
-				fmt.Sprintf("%.1fx", res.Plain[key]/res.Folded[key]))
+			points = append(points, pt)
 		}
+	}
+	outs, err := env.runCampaign(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range points {
+		fRep := outs[pt.foldIdx].Payload.(*smpi.Report)
+		res.Folded[pt.key] = fRep.MaxPeakRSS / payloadScale
+		if pt.plainIdx < 0 {
+			res.Table.Add(string(pt.graph), string(pt.class), pt.procs, "OM",
+				res.Folded[pt.key]/float64(core.MiB), "-")
+			continue
+		}
+		pRep := outs[pt.plainIdx].Payload.(*smpi.Report)
+		res.Plain[pt.key] = pRep.MaxPeakRSS / payloadScale
+		res.Table.Add(string(pt.graph), string(pt.class), pt.procs,
+			res.Plain[pt.key]/float64(core.MiB),
+			res.Folded[pt.key]/float64(core.MiB),
+			fmt.Sprintf("%.1fx", res.Plain[pt.key]/res.Folded[pt.key]))
 	}
 	res.Table.Note("host RAM budget: %s; OM = out of memory without folding (paper's OM labels)",
 		core.FormatBytes(int64(hostRAM)))

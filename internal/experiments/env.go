@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"smpigo/internal/calibrate"
+	"smpigo/internal/campaign"
 	"smpigo/internal/emu"
 	"smpigo/internal/platform"
 	"smpigo/internal/skampi"
@@ -29,6 +30,13 @@ type Env struct {
 	Default   surf.NetModel
 	BestFit   surf.NetModel
 	Piecewise surf.NetModel
+
+	// Workers bounds the worker pool every figure's campaign fans its
+	// independent simulations out over (0 = GOMAXPROCS). Simulated results
+	// are bit-identical at any setting; only wall-clock time changes.
+	Workers int
+	// Seed is the campaign seed; each job derives its own seed from it.
+	Seed uint64
 }
 
 var (
@@ -83,6 +91,14 @@ func buildEnv() (*Env, error) {
 		BestFit:    fit,
 		Piecewise:  pwl,
 	}, nil
+}
+
+// runCampaign fans the jobs out over the env's worker pool and returns
+// their outcomes in submission order (independent of completion order), so
+// figure harnesses can index results positionally.
+func (e *Env) runCampaign(jobs []campaign.Job) ([]*campaign.Outcome, error) {
+	sum := campaign.Run(campaign.Options{Workers: e.Workers, Seed: e.Seed}, jobs)
+	return sum.Outcomes()
 }
 
 // surfConfig returns an SMPI (analytical backend) config on plat with the

@@ -88,6 +88,74 @@ func TestFigure5ThreeSwitches(t *testing.T) {
 	}
 }
 
+// withCampaign runs fn with the env temporarily configured for the given
+// worker count and seed, restoring the previous settings afterwards (the
+// env is shared across tests).
+func withCampaign(e *Env, workers int, seed uint64, fn func()) {
+	prevW, prevS := e.Workers, e.Seed
+	e.Workers, e.Seed = workers, seed
+	defer func() { e.Workers, e.Seed = prevW, prevS }()
+	fn()
+}
+
+func TestFigureCampaignDeterministicAcrossWorkers(t *testing.T) {
+	// The acceptance property of the campaign engine: a figure's simulated
+	// results are bit-identical at any worker-pool size.
+	e := env(t)
+	var base, wide *SweepResult
+	withCampaign(e, 1, 77, func() {
+		var err error
+		if base, err = Figure8(e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withCampaign(e, 8, 77, func() {
+		var err error
+		if wide, err = Figure8(e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for i := range base.Pred {
+		if base.Pred[i] != wide.Pred[i] || base.Ref[i] != wide.Ref[i] {
+			t.Errorf("size %d: workers=1 (%v, %v) vs workers=8 (%v, %v)",
+				base.X[i], base.Pred[i], base.Ref[i], wide.Pred[i], wide.Ref[i])
+		}
+	}
+	if base.Summary != wide.Summary {
+		t.Errorf("summaries differ: %v vs %v", base.Summary, wide.Summary)
+	}
+}
+
+func TestGridCampaignDeterministicAcrossWorkers(t *testing.T) {
+	e := env(t)
+	spec := GridSpec{
+		Op:       "scatter",
+		Procs:    []int{4, 8},
+		Sizes:    []int64{64 * core.KiB, 256 * core.KiB},
+		Models:   []string{"piecewise", "default"},
+		Backends: []string{"surf", "openmpi"},
+	}
+	fingerprints := make(map[string]int)
+	for _, workers := range []int{1, 4} {
+		withCampaign(e, workers, 42, func() {
+			sum, err := e.GridCampaign(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sum.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if sum.Jobs != 12 {
+				t.Fatalf("grid expanded to %d jobs, want 12", sum.Jobs)
+			}
+			fingerprints[sum.Fingerprint()]++
+		})
+	}
+	if len(fingerprints) != 1 {
+		t.Errorf("grid campaign fingerprints differ across worker counts: %v", fingerprints)
+	}
+}
+
 func TestFigure7ContentionMatters(t *testing.T) {
 	res, err := Figure7(env(t))
 	if err != nil {
@@ -163,6 +231,9 @@ func TestFigure9ConsistentAcrossProcs(t *testing.T) {
 }
 
 func TestFigure11ContentionAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-process 4MiB all-to-all is slow; covered by the full run")
+	}
 	res, err := Figure11(env(t))
 	if err != nil {
 		t.Fatal(err)
@@ -189,6 +260,9 @@ func TestFigure11ContentionAccuracy(t *testing.T) {
 }
 
 func TestFigure12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-to-all size sweep is slow; covered by the full run")
+	}
 	res, err := Figure12(env(t))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smpigo/internal/campaign"
+	"smpigo/internal/core"
+	"smpigo/internal/platform"
+	"smpigo/internal/skampi"
+	"smpigo/internal/smpi"
+	"smpigo/internal/surf"
+)
+
+// GridSpec describes an arbitrary scenario campaign beyond the paper's
+// figures: the cross product of process counts, message sizes, models, and
+// backends for one operation. A grid with 8 process counts, 10 sizes, and
+// 3 models is 240 independent simulations — exactly the kind of sweep the
+// serial harness could never afford and the campaign pool makes routine.
+type GridSpec struct {
+	// Op is the measured operation: "scatter", "alltoall", or "pingpong".
+	Op string
+	// Procs are the process counts to sweep (pingpong always uses 2).
+	Procs []int
+	// Sizes are the per-rank message sizes in bytes.
+	Sizes []int64
+	// Models are the analytical point-to-point models to sweep for the
+	// surf backend: "piecewise", "bestfit", "default", "ideal".
+	Models []string
+	// Backends selects timing backends: "surf" (analytical; crossed with
+	// Models) and/or "openmpi", "mpich2" (packet-level testbed emulation).
+	Backends []string
+	// Platform is "griffon" (default) or "gdx".
+	Platform string
+}
+
+// gridPoint is one scenario coordinate of the expanded grid.
+type gridPoint struct {
+	procs   int
+	size    int64
+	backend string
+	model   string // empty for emulated backends
+}
+
+func (e *Env) gridModel(name string) (surf.NetModel, error) {
+	switch strings.ToLower(name) {
+	case "piecewise":
+		return e.Piecewise, nil
+	case "bestfit":
+		return e.BestFit, nil
+	case "default":
+		return e.Default, nil
+	case "ideal":
+		return surf.Ideal(), nil
+	default:
+		return surf.NetModel{}, fmt.Errorf("unknown model %q (want piecewise, bestfit, default, ideal)", name)
+	}
+}
+
+func (e *Env) gridPlatform(name string) (*platform.Platform, error) {
+	switch strings.ToLower(name) {
+	case "", "griffon":
+		return e.Griffon, nil
+	case "gdx":
+		return e.Gdx, nil
+	default:
+		return nil, fmt.Errorf("unknown platform %q (want griffon, gdx)", name)
+	}
+}
+
+// expand validates the spec and returns the scenario points in grid order.
+// Repeated list elements are deduplicated, and pingpong — which always runs
+// between two fixed endpoints — collapses the procs dimension.
+func (spec GridSpec) expand() ([]gridPoint, error) {
+	if len(spec.Procs) == 0 || len(spec.Sizes) == 0 {
+		return nil, fmt.Errorf("grid: need at least one process count and one size")
+	}
+	if len(spec.Backends) == 0 {
+		return nil, fmt.Errorf("grid: need at least one backend")
+	}
+	procCounts := spec.Procs
+	if strings.ToLower(spec.Op) == "pingpong" {
+		procCounts = []int{2}
+	}
+	seen := make(map[gridPoint]bool)
+	var points []gridPoint
+	add := func(pt gridPoint) {
+		if !seen[pt] {
+			seen[pt] = true
+			points = append(points, pt)
+		}
+	}
+	for _, procs := range procCounts {
+		if procs < 2 {
+			return nil, fmt.Errorf("grid: process count %d below 2", procs)
+		}
+		for _, size := range spec.Sizes {
+			if size <= 0 {
+				return nil, fmt.Errorf("grid: non-positive size %d", size)
+			}
+			for _, backend := range spec.Backends {
+				backend = strings.ToLower(backend)
+				switch backend {
+				case "surf":
+					models := spec.Models
+					if len(models) == 0 {
+						models = []string{"piecewise"}
+					}
+					for _, m := range models {
+						add(gridPoint{procs, size, backend, strings.ToLower(m)})
+					}
+				case "openmpi", "mpich2":
+					add(gridPoint{procs, size, backend, ""})
+				default:
+					return nil, fmt.Errorf("grid: unknown backend %q (want surf, openmpi, mpich2)", backend)
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+func (pt gridPoint) id(op string) string {
+	id := fmt.Sprintf("grid/%s/procs=%d/size=%s/%s", op, pt.procs, core.FormatBytes(pt.size), pt.backend)
+	if pt.model != "" {
+		id += "/" + pt.model
+	}
+	return id
+}
+
+func (pt gridPoint) tags(op string) map[string]string {
+	t := map[string]string{
+		"op":      op,
+		"procs":   fmt.Sprint(pt.procs),
+		"size":    core.FormatBytes(pt.size),
+		"backend": pt.backend,
+	}
+	if pt.model != "" {
+		t["model"] = pt.model
+	}
+	return t
+}
+
+// GridCampaign expands the spec into campaign jobs and runs them on the
+// env's worker pool, returning the full summary (including failures, so a
+// broken scenario point does not void the rest of the sweep).
+func (e *Env) GridCampaign(spec GridSpec) (*campaign.Summary, error) {
+	points, err := spec.expand()
+	if err != nil {
+		return nil, err
+	}
+	plat, err := e.gridPlatform(spec.Platform)
+	if err != nil {
+		return nil, err
+	}
+	op := strings.ToLower(spec.Op)
+	jobs := make([]campaign.Job, 0, len(points))
+	for _, pt := range points {
+		cfg, err := e.gridConfig(plat, pt)
+		if err != nil {
+			return nil, err
+		}
+		job, err := gridJob(op, pt, plat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job)
+	}
+	return campaign.Run(campaign.Options{Workers: e.Workers, Seed: e.Seed}, jobs), nil
+}
+
+func (e *Env) gridConfig(plat *platform.Platform, pt gridPoint) (smpi.Config, error) {
+	switch pt.backend {
+	case "surf":
+		m, err := e.gridModel(pt.model)
+		if err != nil {
+			return smpi.Config{}, err
+		}
+		return surfConfig(plat, m), nil
+	case "mpich2":
+		cfg := emuConfig(plat)
+		cfg.Impl = mpich2()
+		return cfg, nil
+	default: // openmpi
+		return emuConfig(plat), nil
+	}
+}
+
+func gridJob(op string, pt gridPoint, plat *platform.Platform, cfg smpi.Config) (campaign.Job, error) {
+	switch op {
+	case "scatter":
+		j := collectiveJob(pt.id(op), cfg, pt.procs, pt.size, runScatter)
+		j.Tags = pt.tags(op)
+		return j, nil
+	case "alltoall":
+		j := collectiveJob(pt.id(op), cfg, pt.procs, pt.size, runAlltoall)
+		j.Tags = pt.tags(op)
+		return j, nil
+	case "pingpong":
+		size := pt.size
+		return campaign.Job{
+			ID:   pt.id(op),
+			Tags: pt.tags(op),
+			Run: func(ctx *campaign.Ctx) (*campaign.Outcome, error) {
+				base := cfg
+				base.Seed = ctx.Seed
+				samples, err := skampi.PingPong(skampi.PingPongConfig{
+					Base: base,
+					A:    plat.HostByID(0), B: plat.HostByID(1),
+					Sizes: []int64{size},
+				})
+				if err != nil {
+					return nil, err
+				}
+				return &campaign.Outcome{
+					SimulatedTime: core.Time(samples[0].Time),
+					Values:        map[string]float64{"oneway_s": samples[0].Time},
+					Payload:       samples,
+				}, nil
+			},
+		}, nil
+	default:
+		return campaign.Job{}, fmt.Errorf("grid: unknown op %q (want scatter, alltoall, pingpong)", op)
+	}
+}
+
+// GridTable renders a grid campaign summary as an aligned table, one row
+// per scenario point in grid order.
+func GridTable(spec GridSpec, sum *campaign.Summary) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Campaign: %s grid (%d jobs, %d workers, seed %d)", spec.Op, sum.Jobs, sum.Workers, sum.Seed),
+		Header: []string{"procs", "size", "backend", "model", "simulated_s", "wall_s"},
+	}
+	for i := range sum.Results {
+		r := &sum.Results[i]
+		model := r.Tags["model"]
+		if model == "" {
+			model = "-"
+		}
+		if r.Err != nil {
+			reason := "error"
+			if r.Panicked {
+				reason = "panic"
+			}
+			t.Add(r.Tags["procs"], r.Tags["size"], r.Tags["backend"], model, reason, r.Wall.Seconds())
+			// Surface the failure reason (first line only: panics carry a
+			// full stack) so broken sweeps are diagnosable without -json.
+			msg := r.Error
+			if i := strings.IndexByte(msg, '\n'); i >= 0 {
+				msg = msg[:i]
+			}
+			t.Note("%s: %s", r.ID, msg)
+			continue
+		}
+		t.Add(r.Tags["procs"], r.Tags["size"], r.Tags["backend"], model,
+			float64(r.Outcome.SimulatedTime), r.Wall.Seconds())
+	}
+	t.Note("total simulated %.6gs, max %.6gs, campaign wall %.3gs, %d failed",
+		float64(sum.TotalSimulated), float64(sum.MaxSimulated), sum.Wall.Seconds(), sum.Failed)
+	t.Note("fingerprint %s (bit-identical at any -parallel)", sum.Fingerprint())
+	return t
+}

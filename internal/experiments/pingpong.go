@@ -4,10 +4,12 @@ import (
 	"fmt"
 
 	"smpigo/internal/calibrate"
+	"smpigo/internal/campaign"
 	"smpigo/internal/core"
 	"smpigo/internal/metrics"
 	"smpigo/internal/platform"
 	"smpigo/internal/skampi"
+	"smpigo/internal/smpi"
 	"smpigo/internal/surf"
 )
 
@@ -39,25 +41,48 @@ func (r *PingPongResult) PiecewiseBest() bool {
 		pwl < r.Summaries["default-affine"].MeanLog
 }
 
-// pingPongFigure runs the SKaMPI reference on the emulator and each model
-// on the analytical backend over the same endpoint pair.
-func pingPongFigure(env *Env, plat *platform.Platform, a, b *platform.Host, title string) (*PingPongResult, error) {
-	ref, err := skampi.PingPong(skampi.PingPongConfig{
-		Base: emuConfig(plat), A: a, B: b,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%s: reference run: %w", title, err)
+// pingPongJob wraps one SKaMPI ping-pong run (on either backend) as a
+// campaign job whose payload is the calibration sample set.
+func pingPongJob(id string, base smpi.Config, a, b *platform.Host) campaign.Job {
+	return campaign.Job{
+		ID:   id,
+		Tags: map[string]string{"op": "pingpong"},
+		Run: func(ctx *campaign.Ctx) (*campaign.Outcome, error) {
+			base.Seed = ctx.Seed
+			samples, err := skampi.PingPong(skampi.PingPongConfig{Base: base, A: a, B: b})
+			if err != nil {
+				return nil, err
+			}
+			out := &campaign.Outcome{
+				Values:  make(map[string]float64, len(samples)),
+				Payload: samples,
+			}
+			for _, s := range samples {
+				out.Values[fmt.Sprintf("t_%d", s.Size)] = s.Time
+				out.SimulatedTime += core.Time(s.Time)
+			}
+			return out, nil
+		},
 	}
+}
+
+// pingPongFigure runs the SKaMPI reference on the emulator and each model
+// on the analytical backend over the same endpoint pair — four independent
+// simulations fanned out as one campaign.
+func pingPongFigure(env *Env, plat *platform.Platform, a, b *platform.Host, title string) (*PingPongResult, error) {
 	models := []surf.NetModel{env.Default, env.BestFit, env.Piecewise}
-	predictions := make(map[string][]calibrate.Sample)
+	jobs := []campaign.Job{pingPongJob(title+"/skampi", emuConfig(plat), a, b)}
 	for _, m := range models {
-		pred, err := skampi.PingPong(skampi.PingPongConfig{
-			Base: surfConfig(plat, m), A: a, B: b,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %s run: %w", title, m.Name, err)
-		}
-		predictions[m.Name] = pred
+		jobs = append(jobs, pingPongJob(title+"/"+m.Name, surfConfig(plat, m), a, b))
+	}
+	outs, err := env.runCampaign(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", title, err)
+	}
+	ref := outs[0].Payload.([]calibrate.Sample)
+	predictions := make(map[string][]calibrate.Sample)
+	for i, m := range models {
+		predictions[m.Name] = outs[i+1].Payload.([]calibrate.Sample)
 	}
 
 	res := &PingPongResult{

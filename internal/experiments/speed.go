@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+	"runtime"
 	"time"
 
+	"smpigo/internal/campaign"
 	"smpigo/internal/core"
 	"smpigo/internal/nas"
 	"smpigo/internal/smpi"
@@ -35,15 +38,35 @@ func Figure17(env *Env) (*SpeedResult, error) {
 		Title:  "Figure 17: simulation time vs simulated time vs real time (scatter, 16 procs)",
 		Header: []string{"msg_size", "smpi_wall_s", "smpi_simulated_s", "real_s (emu)", "speedup_vs_real"},
 	}}
-	for _, size := range []int64{4 * core.MiB, 8 * core.MiB, 16 * core.MiB, 32 * core.MiB, 64 * core.MiB} {
-		s, err := runScatter(surfConfig(env.Griffon, env.Piecewise), procs, size)
-		if err != nil {
-			return nil, err
-		}
-		o, err := runScatter(emuConfig(env.Griffon), procs, size)
-		if err != nil {
-			return nil, err
-		}
+	sizes := []int64{4 * core.MiB, 8 * core.MiB, 16 * core.MiB, 32 * core.MiB, 64 * core.MiB}
+	// The "real" (emulated testbed) runs fan out on the campaign pool: only
+	// their simulated times matter. The SMPI runs are the figure's measured
+	// quantity — their wall clock IS the result — so they execute serially
+	// on a single worker, after a GC flushes the garbage the testbed runs
+	// left behind; otherwise pool contention and GC debt are charged to the
+	// measurement.
+	var emuJobs, surfJobs []campaign.Job
+	for _, size := range sizes {
+		emuJobs = append(emuJobs, collectiveJob(
+			fmt.Sprintf("fig17/size=%s/openmpi", core.FormatBytes(size)),
+			emuConfig(env.Griffon), procs, size, runScatter))
+		surfJobs = append(surfJobs, collectiveJob(
+			fmt.Sprintf("fig17/size=%s/smpi", core.FormatBytes(size)),
+			surfConfig(env.Griffon, env.Piecewise), procs, size, runScatter))
+	}
+	emuRuns, err := collectiveRuns(env, emuJobs)
+	if err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	surfSum := campaign.Run(campaign.Options{Workers: 1, Seed: env.Seed}, surfJobs)
+	surfOuts, err := surfSum.Outcomes()
+	if err != nil {
+		return nil, err
+	}
+	for i, size := range sizes {
+		s := surfOuts[i].Payload.(*collectiveRun)
+		o := emuRuns[i]
 		res.Sizes = append(res.Sizes, size)
 		res.SimWall = append(res.SimWall, s.Wall)
 		res.SimTime = append(res.SimTime, s.Total)
@@ -77,14 +100,44 @@ func Figure18(env *Env, m, iterations int) (*SamplingResult, error) {
 		Title:  "Figure 18: CPU sampling impact on NAS EP (4 procs)",
 		Header: []string{"ratio_pct", "sim_wall_s", "simulated_s", "bursts_executed", "bursts_replayed"},
 	}}
-	for _, ratio := range []float64{1.0, 0.75, 0.5, 0.25} {
-		app, _ := nas.EP(nas.EPConfig{M: m, Iterations: iterations, SampleRatio: ratio})
-		cfg := surfConfig(env.Griffon, env.Piecewise)
-		cfg.Procs = procs
-		rep, err := smpi.Run(cfg, app)
-		if err != nil {
-			return nil, err
-		}
+	ratios := []float64{1.0, 0.75, 0.5, 0.25}
+	var jobs []campaign.Job
+	for _, ratio := range ratios {
+		ratio := ratio
+		jobs = append(jobs, campaign.Job{
+			ID:   fmt.Sprintf("fig18/ratio=%g", ratio),
+			Tags: map[string]string{"app": "ep", "ratio": fmt.Sprint(ratio)},
+			Run: func(ctx *campaign.Ctx) (*campaign.Outcome, error) {
+				app, _ := nas.EP(nas.EPConfig{M: m, Iterations: iterations, SampleRatio: ratio})
+				cfg := surfConfig(env.Griffon, env.Piecewise)
+				cfg.Procs = procs
+				cfg.Seed = ctx.Seed
+				rep, err := smpi.Run(cfg, app)
+				if err != nil {
+					return nil, err
+				}
+				return &campaign.Outcome{
+					SimulatedTime: rep.SimulatedTime,
+					Values: map[string]float64{
+						"bursts_executed": float64(rep.BurstsExecuted),
+						"bursts_replayed": float64(rep.BurstsReplayed),
+					},
+					Payload: rep,
+				}, nil
+			},
+		})
+	}
+	// Like Figure 17's SMPI runs, the wall-clock column is the figure's
+	// measured quantity, so the ratio sweep runs serially on one worker:
+	// concurrent EP simulations would charge each other's CPU contention
+	// to the measurement.
+	sum := campaign.Run(campaign.Options{Workers: 1, Seed: env.Seed}, jobs)
+	outs, err := sum.Outcomes()
+	if err != nil {
+		return nil, err
+	}
+	for i, ratio := range ratios {
+		rep := outs[i].Payload.(*smpi.Report)
 		res.Ratios = append(res.Ratios, ratio)
 		res.Wall = append(res.Wall, rep.WallTime)
 		res.Simulated = append(res.Simulated, float64(rep.SimulatedTime))

@@ -49,7 +49,19 @@ type EPConfig struct {
 	// Global uses SMPI_SAMPLE_GLOBAL semantics instead of per-rank local
 	// sampling.
 	Global bool
+	// FlopsPerPair is the modelled cost of generating and classifying one
+	// random pair, charged per burst whether the burst executes or is
+	// bypassed. Defaults to epFlopsPerPair. Because the charged cost is a
+	// model rather than a wall-clock measurement, the simulated time of a
+	// sampled run is bit-identical to a fully-executed one and to any
+	// campaign worker count.
+	FlopsPerPair float64
 }
+
+// epFlopsPerPair approximates the arithmetic of the EP inner loop: two
+// deviates, the acceptance test, and (for accepted pairs) sqrt/log and the
+// annulus tally.
+const epFlopsPerPair = 40
 
 // EPResult holds the benchmark's verification outputs.
 type EPResult struct {
@@ -68,6 +80,9 @@ func EP(cfg EPConfig) (func(*smpi.Rank), *EPResult) {
 	}
 	if cfg.SampleRatio <= 0 || cfg.SampleRatio > 1 {
 		cfg.SampleRatio = 1
+	}
+	if cfg.FlopsPerPair <= 0 {
+		cfg.FlopsPerPair = epFlopsPerPair
 	}
 	res := &EPResult{}
 	return func(r *smpi.Rank) {
@@ -108,10 +123,11 @@ func EP(cfg EPConfig) (func(*smpi.Rank), *EPResult) {
 				}
 			}
 			id := fmt.Sprintf("ep-iter-m%d", cfg.M)
+			flops := float64(perIter) * cfg.FlopsPerPair
 			if cfg.Global {
-				r.SampleGlobal(id, n, body)
+				r.SampleGlobalFlops(id, n, flops, body)
 			} else {
-				r.SampleLocal(id, n, body)
+				r.SampleLocalFlops(id, n, flops, body)
 			}
 		}
 

@@ -194,6 +194,20 @@ func TestEPSimulatedTimeStableUnderSampling(t *testing.T) {
 	}
 }
 
+func TestEPSimulatedTimeExactUnderSampling(t *testing.T) {
+	// The sampled path charges the same modelled burst cost as the
+	// fully-executed path, so the simulated time is bit-identical at every
+	// sampling ratio — not merely close. This is also what makes EP
+	// campaigns deterministic under parallel execution.
+	full, _ := epRun(t, EPConfig{M: 18, Iterations: 16, SampleRatio: 1}, 2)
+	for _, ratio := range []float64{0.75, 0.5, 0.25} {
+		sampled, _ := epRun(t, EPConfig{M: 18, Iterations: 16, SampleRatio: ratio}, 2)
+		if sampled.SimulatedTime != full.SimulatedTime {
+			t.Errorf("ratio %v: simulated %v != full %v", ratio, sampled.SimulatedTime, full.SimulatedTime)
+		}
+	}
+}
+
 func TestEPGlobalSampling(t *testing.T) {
 	rep, _ := epRun(t, EPConfig{M: 16, Iterations: 8, SampleRatio: 0.5, Global: true}, 4)
 	// Global sampling: 4 executions total (not per-rank).

@@ -104,6 +104,28 @@ func (r *Registry) Sample(key string, n int, fn func()) (d core.Duration, execut
 	return st.sum / core.Duration(st.samples), false
 }
 
+// Observe runs one occurrence of the burst identified by key without
+// timing it: fn is executed for the first n occurrences and skipped
+// afterwards, with the same executed/replayed accounting as Sample. Callers
+// that charge a deterministic (modelled) cost per occurrence use Observe so
+// the sampled path's simulated cost never depends on wall-clock noise.
+func (r *Registry) Observe(key string, n int, fn func()) (executed bool) {
+	st, ok := r.sites[key]
+	if !ok {
+		st = &site{remaining: n}
+		r.sites[key] = st
+	}
+	if st.remaining > 0 {
+		st.remaining--
+		st.samples++
+		r.executed++
+		fn()
+		return true
+	}
+	r.replayed++
+	return false
+}
+
 // SiteMean returns the mean recorded duration for a site (0 if none) and
 // the number of samples backing it.
 func (r *Registry) SiteMean(key string) (core.Duration, int) {

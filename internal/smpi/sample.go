@@ -29,6 +29,27 @@ func (r *Rank) SampleGlobal(id string, n int, fn func()) {
 	r.Elapse(d * core.Duration(r.w.cfg.SpeedFactor))
 }
 
+// SampleLocalFlops runs the CPU burst identified by id at most n times on
+// this rank for its real side effects (the on-line property: the data is
+// genuinely computed), while charging a deterministic modelled cost of flops
+// on every occurrence — executed or bypassed. Unlike SampleLocal, whose
+// wall-clock measurement makes the replayed mean hostage to scheduler noise
+// and cold-start outliers, the sampled path charges exactly the same
+// simulated cost as the fully-executed path, so simulated time is
+// bit-identical at any sampling ratio and under any host load.
+func (r *Rank) SampleLocalFlops(id string, n int, flops float64, fn func()) {
+	key := fmt.Sprintf("%s@rank%d", id, r.rank)
+	r.w.reg.Observe(key, n, fn)
+	r.Compute(flops)
+}
+
+// SampleGlobalFlops is SampleLocalFlops with SMPI_SAMPLE_GLOBAL semantics:
+// the n executions are shared across all ranks.
+func (r *Rank) SampleGlobalFlops(id string, n int, flops float64, fn func()) {
+	r.w.reg.Observe(id, n, fn)
+	r.Compute(flops)
+}
+
 // SampleFlops never executes anything: it charges the given flop amount on
 // the host (SMPI_SAMPLE_DELAY, whose argument is a flop count). Use with
 // RAM folding technique #2: when bursts are never executed, their arrays
