@@ -10,7 +10,13 @@
 //	experiments [-fig all] [-fast] [-parallel N] [-seed S] [-json]
 //	experiments campaign -op scatter -procs 4,8,16 -sizes 64KiB,1MiB,4MiB \
 //	    [-models piecewise,bestfit] [-backends surf,openmpi] \
-//	    [-platform griffon] [-parallel N] [-seed S] [-json]
+//	    [-platform griffon] [-topologies griffon,fattree64,torus64] \
+//	    [-parallel N] [-seed S] [-json]
+//
+// -fig topo compares ring vs tree collectives across interconnect shapes
+// (flat cluster, fat-tree, torus, dragonfly); the campaign -topologies flag
+// crosses any sweep with a topology axis (presets or shape strings such as
+// fattree:4x4:1x4, torus:4x4x4, dragonfly:9x4x2).
 //
 // Running with -fig all reproduces the whole campaign; EXPERIMENTS.md
 // records paper-vs-measured for each figure.
@@ -44,7 +50,7 @@ func main() {
 
 func runFigures(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,11,12,15,16,17,18 or all")
+	fig := fs.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,11,12,15,16,17,18, topo (cross-topology collectives), or all")
 	fast := fs.Bool("fast", false, "reduce payloads for quicker (shape-preserving) runs")
 	parallel := fs.Int("parallel", 0, "worker-pool size for each figure's simulations (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "campaign seed; per-job seeds derive from it")
@@ -112,6 +118,17 @@ func runFigures(args []string) error {
 			}
 			return r.Table, nil
 		}},
+		{"topo", func() (*experiments.Table, error) {
+			chunk := int64(0) // default payload
+			if *fast {
+				chunk = 64 * core.KiB
+			}
+			r, err := experiments.TopoCollectives(env, chunk)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
 	}
 
 	want := strings.Split(*fig, ",")
@@ -156,7 +173,8 @@ func runCampaign(args []string) error {
 	sizesArg := fs.String("sizes", "64KiB,1MiB,4MiB", "comma-separated message sizes, e.g. 64KiB,1MiB")
 	modelsArg := fs.String("models", "piecewise", "comma-separated surf models: piecewise,bestfit,default,ideal")
 	backendsArg := fs.String("backends", "surf", "comma-separated backends: surf,openmpi,mpich2")
-	platformArg := fs.String("platform", "griffon", "target platform: griffon or gdx")
+	platformArg := fs.String("platform", "griffon", "target platform: griffon or gdx (ignored when -topologies is set)")
+	topologiesArg := fs.String("topologies", "", "comma-separated topology axis: griffon,gdx, presets (fattree16,fattree64,torus16,torus64,dragonfly72), or shapes (fattree:4x4:1x4 torus:4x4x4 dragonfly:9x4x2)")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "campaign seed; per-job seeds derive from it")
 	jsonOut := fs.Bool("json", false, "emit the full campaign summary as JSON")
@@ -180,12 +198,13 @@ func runCampaign(args []string) error {
 		return fmt.Errorf("-sizes: %w", err)
 	}
 	spec := experiments.GridSpec{
-		Op:       *op,
-		Procs:    procs,
-		Sizes:    sizes,
-		Models:   splitList(*modelsArg),
-		Backends: splitList(*backendsArg),
-		Platform: *platformArg,
+		Op:         *op,
+		Procs:      procs,
+		Sizes:      sizes,
+		Models:     splitList(*modelsArg),
+		Backends:   splitList(*backendsArg),
+		Platform:   *platformArg,
+		Topologies: splitList(*topologiesArg),
 	}
 
 	env, err := experiments.NewEnv()

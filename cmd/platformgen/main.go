@@ -1,61 +1,93 @@
-// Command platformgen emits cluster platform descriptions in the
-// repository's SimGrid-style XML dialect, either the paper's presets
-// (griffon, gdx) or a custom homogeneous cluster.
+// Command platformgen emits platform descriptions in the repository's
+// SimGrid-style XML dialect: the paper's cluster presets (griffon, gdx), a
+// custom homogeneous cluster, or generated interconnect topologies
+// (fat-tree, torus, dragonfly).
+//
+// Examples:
+//
+//	platformgen -topo griffon
+//	platformgen -topo fattree64 -o fattree64.xml
+//	platformgen -topo torus:8x8x4
+//	platformgen -topo dragonfly:9x4x2 -metrics
+//	platformgen -topo custom -cabinets 8,8 -speed 2Gf
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"smpigo/internal/core"
 	"smpigo/internal/platform"
+	"smpigo/internal/topology"
 )
 
 func main() {
 	var (
-		preset   = flag.String("cluster", "griffon", "preset: griffon, gdx, or custom")
+		topo     = flag.String("topo", "griffon", "preset or shape: griffon, gdx, custom, a topology preset (fattree16, fattree64, torus16, torus64, dragonfly72), or a shape string (fattree:4x4:1x4 torus:4x4x4 dragonfly:9x4x2)")
+		cluster  = flag.String("cluster", "", "deprecated alias for -topo")
 		out      = flag.String("o", "-", "output file (- for stdout)")
+		metrics  = flag.Bool("metrics", false, "print structural metrics (hosts, links, diameter, bisection) as a trailing XML comment")
 		cabinets = flag.String("cabinets", "16,16", "custom: nodes per cabinet, comma separated")
 		speed    = flag.String("speed", "1Gf", "custom: node speed")
 		bw       = flag.String("bw", "1Gbps", "custom: node link bandwidth")
 		lat      = flag.String("lat", "20us", "custom: node link latency")
 	)
 	flag.Parse()
-	if err := run(*preset, *out, *cabinets, *speed, *bw, *lat); err != nil {
+	name := *topo
+	if *cluster != "" {
+		name = *cluster
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "platformgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(w, name, *metrics, *cabinets, *speed, *bw, *lat); err != nil {
 		fmt.Fprintln(os.Stderr, "platformgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(preset, out, cabinets, speed, bw, lat string) error {
-	var spec platform.ClusterSpec
-	switch preset {
+func run(w io.Writer, name string, metrics bool, cabinets, speed, bw, lat string) error {
+	spec, err := resolve(name, cabinets, speed, bw, lat)
+	if err != nil {
+		return err
+	}
+	if err := platform.WriteXML(w, spec); err != nil {
+		return err
+	}
+	if !metrics {
+		return nil
+	}
+	if ts, ok := spec.(topology.Spec); ok {
+		m := ts.Metrics()
+		_, err = fmt.Fprintf(w, "<!-- hosts=%d links=%d diameter=%d bisection=%gBps -->\n",
+			m.Hosts, m.Links, m.Diameter, m.BisectionBandwidth)
+	} else if cs, ok := spec.(platform.ClusterSpec); ok {
+		_, err = fmt.Fprintf(w, "<!-- hosts=%d cabinets=%d -->\n", cs.NodeCount(), len(cs.Cabinets))
+	}
+	return err
+}
+
+func resolve(name, cabinets, speed, bw, lat string) (platform.Spec, error) {
+	switch name {
 	case "griffon":
-		spec = platform.Griffon()
+		return platform.Griffon(), nil
 	case "gdx":
-		spec = platform.Gdx()
+		return platform.Gdx(), nil
 	case "custom":
-		var err error
-		spec, err = customSpec(cabinets, speed, bw, lat)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown preset %q", preset)
+		return customSpec(cabinets, speed, bw, lat)
 	}
-	w := os.Stdout
-	if out != "-" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	return platform.WriteXML(w, spec)
+	return topology.ParseSpec(name)
 }
 
 func customSpec(cabinets, speed, bw, lat string) (platform.ClusterSpec, error) {

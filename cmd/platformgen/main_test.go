@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smpigo/internal/platform"
+	_ "smpigo/internal/topology" // register topology XML elements
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestPresetGoldenOutput locks the exact XML every preset emits: the files
+// under testdata/ are the reference platform descriptions, so accidental
+// dialect or preset drift fails here first. Regenerate with -update.
+func TestPresetGoldenOutput(t *testing.T) {
+	presets := []string{"griffon", "gdx", "fattree16", "fattree64", "torus16", "torus64", "dragonfly72"}
+	for _, preset := range presets {
+		t.Run(preset, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, preset, true, "", "", "", ""); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", preset+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output drifted from %s:\n got:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+			}
+			// The emitted file must parse and build: strip the metrics
+			// comment and round-trip.
+			specs, err := platform.ReadXML(strings.NewReader(buf.String()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(specs) != 1 {
+				t.Fatalf("got %d specs", len(specs))
+			}
+			if _, err := specs[0].Build(); err != nil {
+				t.Errorf("golden platform does not build: %v", err)
+			}
+		})
+	}
+}
+
+func TestCustomAndShapeSpecs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "custom", false, "4,4", "2Gf", "1Gbps", "10us"); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := platform.ReadXML(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := specs[0].(platform.ClusterSpec)
+	if !ok || cs.NodeCount() != 8 || cs.NodeSpeed != 2e9 {
+		t.Errorf("custom spec roundtrip: %+v", specs[0])
+	}
+	buf.Reset()
+	if err := run(&buf, "torus:3x3", false, "", "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `dims="3x3"`) {
+		t.Errorf("shape spec output missing dims: %s", buf.String())
+	}
+	if err := run(&buf, "not-a-topo", false, "", "", "", ""); err == nil {
+		t.Error("unknown preset should fail")
+	}
+}

@@ -8,6 +8,8 @@
 //
 //	smpirun -app pingpong -np 2 -platform griffon -model piecewise
 //	smpirun -app scatter -np 16 -chunk 4MiB -backend emu
+//	smpirun -app alltoall -np 64 -platform torus64
+//	smpirun -app pingpong -platform fattree:4x4:1x4
 //	smpirun -app dt -graph BH -class A
 //	smpirun -app ep -np 4 -ratio 0.25
 package main
@@ -16,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"smpigo/internal/core"
 	"smpigo/internal/experiments"
@@ -24,6 +27,7 @@ import (
 	"smpigo/internal/replay"
 	"smpigo/internal/smpi"
 	"smpigo/internal/surf"
+	"smpigo/internal/topology"
 	"smpigo/internal/trace"
 )
 
@@ -31,7 +35,7 @@ func main() {
 	var (
 		appName   = flag.String("app", "pingpong", "application: pingpong, ring, scatter, alltoall, dt, ep")
 		np        = flag.Int("np", 2, "number of MPI processes (ignored by dt, which sets it from -class)")
-		platName  = flag.String("platform", "griffon", "target platform: griffon, gdx, or a platform XML file")
+		platName  = flag.String("platform", "griffon", "target platform: griffon, gdx, a topology preset (fattree16, fattree64, torus16, torus64, dragonfly72), a topology shape (fattree:4x4:1x4 torus:4x4x4 dragonfly:9x4x2), or a platform XML file")
 		backend   = flag.String("backend", "surf", "timing backend: surf (analytical SMPI) or emu (packet-level testbed)")
 		modelName = flag.String("model", "piecewise", "surf model: ideal, default, bestfit, piecewise")
 		noCont    = flag.Bool("no-contention", false, "disable link contention (surf backend)")
@@ -57,9 +61,18 @@ func loadPlatform(name string) (*platform.Platform, error) {
 	case "gdx":
 		return platform.Gdx().Build()
 	}
+	spec, topoErr := topology.ParseSpec(name)
+	if topoErr == nil {
+		return spec.Build()
+	}
+	if strings.Contains(name, ":") {
+		// The topology shape grammar, just malformed: surface the parse
+		// diagnostic rather than a pointless file-open failure.
+		return nil, topoErr
+	}
 	f, err := os.Open(name)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("platform %q is neither a known name nor a readable file (%v; %v)", name, topoErr, err)
 	}
 	defer f.Close()
 	specs, err := platform.ReadXML(f)

@@ -20,23 +20,21 @@ type collectiveRun struct {
 	Wall    time.Duration
 }
 
-// runScatter performs one binomial-tree scatter of chunk bytes per rank.
-func runScatter(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error) {
+// measureCollective times one collective operation: every rank
+// synchronizes on a barrier, runs op, and records its completion relative
+// to the barrier exit. Buffer allocation inside op is host-side work and
+// does not advance simulated time, so op can set up and call the
+// collective directly.
+func measureCollective(cfg smpi.Config, procs int, op func(r *smpi.Rank, c *smpi.Comm)) (*collectiveRun, error) {
 	cfg.Procs = procs
 	out := &collectiveRun{PerRank: make([]float64, procs)}
-	app := func(r *smpi.Rank) {
+	rep, err := smpi.Run(cfg, func(r *smpi.Rank) {
 		c := r.Comm()
-		var sendbuf []byte
-		if r.Rank() == 0 {
-			sendbuf = make([]byte, int64(procs)*chunk)
-		}
-		recvbuf := make([]byte, chunk)
 		c.Barrier(r)
 		start := r.Now()
-		c.Scatter(r, sendbuf, recvbuf, 0)
+		op(r, c)
 		out.PerRank[r.Rank()] = float64(r.Now() - start)
-	}
-	rep, err := smpi.Run(cfg, app)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -50,31 +48,25 @@ func runScatter(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error)
 	return out, nil
 }
 
+// runScatter performs one binomial-tree scatter of chunk bytes per rank.
+func runScatter(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error) {
+	return measureCollective(cfg, procs, func(r *smpi.Rank, c *smpi.Comm) {
+		var sendbuf []byte
+		if r.Rank() == 0 {
+			sendbuf = make([]byte, int64(procs)*chunk)
+		}
+		recvbuf := make([]byte, chunk)
+		c.Scatter(r, sendbuf, recvbuf, 0)
+	})
+}
+
 // runAlltoall performs one pairwise all-to-all with chunk bytes per pair.
 func runAlltoall(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error) {
-	cfg.Procs = procs
-	out := &collectiveRun{PerRank: make([]float64, procs)}
-	app := func(r *smpi.Rank) {
-		c := r.Comm()
+	return measureCollective(cfg, procs, func(r *smpi.Rank, c *smpi.Comm) {
 		sendbuf := make([]byte, int64(procs)*chunk)
 		recvbuf := make([]byte, int64(procs)*chunk)
-		c.Barrier(r)
-		start := r.Now()
 		c.Alltoall(r, sendbuf, recvbuf)
-		out.PerRank[r.Rank()] = float64(r.Now() - start)
-	}
-	rep, err := smpi.Run(cfg, app)
-	if err != nil {
-		return nil, err
-	}
-	out.Report = rep
-	out.Wall = rep.WallTime
-	for _, t := range out.PerRank {
-		if t > out.Total {
-			out.Total = t
-		}
-	}
-	return out, nil
+	})
 }
 
 // collectiveJob wraps one collective run as a campaign job whose payload is

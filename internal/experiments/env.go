@@ -37,6 +37,11 @@ type Env struct {
 	Workers int
 	// Seed is the campaign seed; each job derives its own seed from it.
 	Seed uint64
+
+	// topoPlatforms caches generated topology platforms by axis name so
+	// every job of a sweep shares one instance and its route cache.
+	topoMu        sync.Mutex
+	topoPlatforms map[string]*platform.Platform
 }
 
 var (

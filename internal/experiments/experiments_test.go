@@ -156,6 +156,90 @@ func TestGridCampaignDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestGridTopologyAxisDeterministic sweeps the new topology axis and
+// checks the acceptance property: bit-identical fingerprints at any
+// -parallel worker count.
+func TestGridTopologyAxisDeterministic(t *testing.T) {
+	e := env(t)
+	spec := GridSpec{
+		Op:         "scatter",
+		Procs:      []int{8},
+		Sizes:      []int64{64 * core.KiB},
+		Models:     []string{"piecewise"},
+		Backends:   []string{"surf"},
+		Topologies: []string{"griffon", "fattree16", "torus16", "dragonfly:3x2x2", "fattree:4x4:1x4"},
+	}
+	fingerprints := make(map[string]int)
+	for _, workers := range []int{1, 4} {
+		withCampaign(e, workers, 7, func() {
+			sum, err := e.GridCampaign(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sum.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if sum.Jobs != 5 {
+				t.Fatalf("grid expanded to %d jobs, want 5", sum.Jobs)
+			}
+			fingerprints[sum.Fingerprint()]++
+		})
+	}
+	if len(fingerprints) != 1 {
+		t.Errorf("topology-axis fingerprints differ across worker counts: %v", fingerprints)
+	}
+	if _, err := e.GridCampaign(GridSpec{
+		Op: "scatter", Procs: []int{4}, Sizes: []int64{1024},
+		Backends: []string{"surf"}, Topologies: []string{"not-a-topology"},
+	}); err == nil {
+		t.Error("unknown topology should fail expansion")
+	}
+}
+
+// TestTopoCollectives runs the cross-topology ring-vs-tree comparison and
+// checks the structural claims: every point simulates, results are
+// deterministic, and the topology axis actually differentiates — the same
+// collective completes in different times on different interconnects,
+// which the flat cluster alone cannot express.
+func TestTopoCollectives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-topology comparison is slow; run without -short")
+	}
+	e := env(t)
+	var a, b *TopoCollectivesResult
+	withCampaign(e, 1, 3, func() {
+		var err error
+		if a, err = TopoCollectives(e, 64*core.KiB); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withCampaign(e, 8, 3, func() {
+		var err error
+		if b, err = TopoCollectives(e, 64*core.KiB); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for k, v := range a.Times {
+		if v <= 0 {
+			t.Errorf("%s: non-positive completion %v", k, v)
+		}
+		if b.Times[k] != v {
+			t.Errorf("%s differs across worker counts: %v vs %v", k, v, b.Times[k])
+		}
+	}
+	// The interconnect must matter: for each op/algo, at least two
+	// topologies disagree on completion time.
+	for _, op := range []string{"bcast/ring", "bcast/binomial", "allreduce/ring", "allreduce/recursive-doubling"} {
+		distinct := make(map[float64]bool)
+		for _, topo := range topoCollectivesTopos() {
+			distinct[a.Times[topo+"/"+op]] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("%s: all topologies complete in identical time %v — topology axis inert", op, a.Times)
+		}
+	}
+}
+
 func TestFigure7ContentionMatters(t *testing.T) {
 	res, err := Figure7(env(t))
 	if err != nil {

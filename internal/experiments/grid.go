@@ -10,6 +10,7 @@ import (
 	"smpigo/internal/skampi"
 	"smpigo/internal/smpi"
 	"smpigo/internal/surf"
+	"smpigo/internal/topology"
 )
 
 // GridSpec describes an arbitrary scenario campaign beyond the paper's
@@ -30,12 +31,20 @@ type GridSpec struct {
 	// Backends selects timing backends: "surf" (analytical; crossed with
 	// Models) and/or "openmpi", "mpich2" (packet-level testbed emulation).
 	Backends []string
-	// Platform is "griffon" (default) or "gdx".
+	// Platform is "griffon" (default) or "gdx". Ignored when Topologies is
+	// set.
 	Platform string
+	// Topologies optionally adds a platform axis to the sweep: each entry
+	// is "griffon", "gdx", a topology preset (fattree64, torus64,
+	// dragonfly72, ...), or a topology shape string such as
+	// "fattree:4x4:1x4", "torus:4x4x4", "dragonfly:9x4x2". Every scenario
+	// point is then crossed with every topology.
+	Topologies []string
 }
 
 // gridPoint is one scenario coordinate of the expanded grid.
 type gridPoint struct {
+	topo    string // resolved platform name; empty means spec.Platform
 	procs   int
 	size    int64
 	backend string
@@ -57,15 +66,35 @@ func (e *Env) gridModel(name string) (surf.NetModel, error) {
 	}
 }
 
+// gridPlatform resolves a platform-axis value: the paper's clusters by
+// name, then topology presets and shape strings. Generated platforms are
+// cached on the env so every job of a sweep shares one instance (and its
+// memoized route table).
 func (e *Env) gridPlatform(name string) (*platform.Platform, error) {
 	switch strings.ToLower(name) {
 	case "", "griffon":
 		return e.Griffon, nil
 	case "gdx":
 		return e.Gdx, nil
-	default:
-		return nil, fmt.Errorf("unknown platform %q (want griffon, gdx)", name)
 	}
+	e.topoMu.Lock()
+	defer e.topoMu.Unlock()
+	if p, ok := e.topoPlatforms[name]; ok {
+		return p, nil
+	}
+	spec, err := topology.ParseSpec(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown platform %q (want griffon, gdx, or a topology: %w)", name, err)
+	}
+	p, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	if e.topoPlatforms == nil {
+		e.topoPlatforms = make(map[string]*platform.Platform)
+	}
+	e.topoPlatforms[name] = p
+	return p, nil
 }
 
 // expand validates the spec and returns the scenario points in grid order.
@@ -82,6 +111,10 @@ func (spec GridSpec) expand() ([]gridPoint, error) {
 	if strings.ToLower(spec.Op) == "pingpong" {
 		procCounts = []int{2}
 	}
+	topos := spec.Topologies
+	if len(topos) == 0 {
+		topos = []string{""}
+	}
 	seen := make(map[gridPoint]bool)
 	var points []gridPoint
 	add := func(pt gridPoint) {
@@ -90,29 +123,31 @@ func (spec GridSpec) expand() ([]gridPoint, error) {
 			points = append(points, pt)
 		}
 	}
-	for _, procs := range procCounts {
-		if procs < 2 {
-			return nil, fmt.Errorf("grid: process count %d below 2", procs)
-		}
-		for _, size := range spec.Sizes {
-			if size <= 0 {
-				return nil, fmt.Errorf("grid: non-positive size %d", size)
+	for _, topo := range topos {
+		for _, procs := range procCounts {
+			if procs < 2 {
+				return nil, fmt.Errorf("grid: process count %d below 2", procs)
 			}
-			for _, backend := range spec.Backends {
-				backend = strings.ToLower(backend)
-				switch backend {
-				case "surf":
-					models := spec.Models
-					if len(models) == 0 {
-						models = []string{"piecewise"}
+			for _, size := range spec.Sizes {
+				if size <= 0 {
+					return nil, fmt.Errorf("grid: non-positive size %d", size)
+				}
+				for _, backend := range spec.Backends {
+					backend = strings.ToLower(backend)
+					switch backend {
+					case "surf":
+						models := spec.Models
+						if len(models) == 0 {
+							models = []string{"piecewise"}
+						}
+						for _, m := range models {
+							add(gridPoint{topo, procs, size, backend, strings.ToLower(m)})
+						}
+					case "openmpi", "mpich2":
+						add(gridPoint{topo, procs, size, backend, ""})
+					default:
+						return nil, fmt.Errorf("grid: unknown backend %q (want surf, openmpi, mpich2)", backend)
 					}
-					for _, m := range models {
-						add(gridPoint{procs, size, backend, strings.ToLower(m)})
-					}
-				case "openmpi", "mpich2":
-					add(gridPoint{procs, size, backend, ""})
-				default:
-					return nil, fmt.Errorf("grid: unknown backend %q (want surf, openmpi, mpich2)", backend)
 				}
 			}
 		}
@@ -121,7 +156,11 @@ func (spec GridSpec) expand() ([]gridPoint, error) {
 }
 
 func (pt gridPoint) id(op string) string {
-	id := fmt.Sprintf("grid/%s/procs=%d/size=%s/%s", op, pt.procs, core.FormatBytes(pt.size), pt.backend)
+	id := "grid/" + op
+	if pt.topo != "" {
+		id += "/topo=" + pt.topo
+	}
+	id += fmt.Sprintf("/procs=%d/size=%s/%s", pt.procs, core.FormatBytes(pt.size), pt.backend)
 	if pt.model != "" {
 		id += "/" + pt.model
 	}
@@ -134,6 +173,9 @@ func (pt gridPoint) tags(op string) map[string]string {
 		"procs":   fmt.Sprint(pt.procs),
 		"size":    core.FormatBytes(pt.size),
 		"backend": pt.backend,
+	}
+	if pt.topo != "" {
+		t["topo"] = pt.topo
 	}
 	if pt.model != "" {
 		t["model"] = pt.model
@@ -149,13 +191,17 @@ func (e *Env) GridCampaign(spec GridSpec) (*campaign.Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	plat, err := e.gridPlatform(spec.Platform)
-	if err != nil {
-		return nil, err
-	}
 	op := strings.ToLower(spec.Op)
 	jobs := make([]campaign.Job, 0, len(points))
 	for _, pt := range points {
+		platName := pt.topo
+		if platName == "" {
+			platName = spec.Platform
+		}
+		plat, err := e.gridPlatform(platName)
+		if err != nil {
+			return nil, err
+		}
 		cfg, err := e.gridConfig(plat, pt)
 		if err != nil {
 			return nil, err
@@ -229,7 +275,7 @@ func gridJob(op string, pt gridPoint, plat *platform.Platform, cfg smpi.Config) 
 func GridTable(spec GridSpec, sum *campaign.Summary) *Table {
 	t := &Table{
 		Title:  fmt.Sprintf("Campaign: %s grid (%d jobs, %d workers, seed %d)", spec.Op, sum.Jobs, sum.Workers, sum.Seed),
-		Header: []string{"procs", "size", "backend", "model", "simulated_s", "wall_s"},
+		Header: []string{"topo", "procs", "size", "backend", "model", "simulated_s", "wall_s"},
 	}
 	for i := range sum.Results {
 		r := &sum.Results[i]
@@ -237,12 +283,18 @@ func GridTable(spec GridSpec, sum *campaign.Summary) *Table {
 		if model == "" {
 			model = "-"
 		}
+		topo := r.Tags["topo"]
+		if topo == "" {
+			if topo = spec.Platform; topo == "" {
+				topo = "griffon"
+			}
+		}
 		if r.Err != nil {
 			reason := "error"
 			if r.Panicked {
 				reason = "panic"
 			}
-			t.Add(r.Tags["procs"], r.Tags["size"], r.Tags["backend"], model, reason, r.Wall.Seconds())
+			t.Add(topo, r.Tags["procs"], r.Tags["size"], r.Tags["backend"], model, reason, r.Wall.Seconds())
 			// Surface the failure reason (first line only: panics carry a
 			// full stack) so broken sweeps are diagnosable without -json.
 			msg := r.Error
@@ -252,7 +304,7 @@ func GridTable(spec GridSpec, sum *campaign.Summary) *Table {
 			t.Note("%s: %s", r.ID, msg)
 			continue
 		}
-		t.Add(r.Tags["procs"], r.Tags["size"], r.Tags["backend"], model,
+		t.Add(topo, r.Tags["procs"], r.Tags["size"], r.Tags["backend"], model,
 			float64(r.Outcome.SimulatedTime), r.Wall.Seconds())
 	}
 	t.Note("total simulated %.6gs, max %.6gs, campaign wall %.3gs, %d failed",

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smpigo/internal/campaign"
+	"smpigo/internal/core"
+	"smpigo/internal/smpi"
+	"smpigo/internal/topology"
+)
+
+// TopoCollectivesResult holds the cross-topology collectives comparison:
+// ring vs tree broadcast and allreduce on the flat griffon cluster and the
+// three generated interconnects. Times maps "<topo>/<op>/<algo>" to the
+// collective's completion time in seconds.
+type TopoCollectivesResult struct {
+	Table *Table
+	Times map[string]float64
+}
+
+// topoCollectivesTopos are the platforms the comparison sweeps: the paper's
+// flat hierarchical cluster plus one of each generated shape, all with at
+// least TopoCollectivesProcs hosts.
+func topoCollectivesTopos() []string {
+	return []string{"griffon", "fattree64", "torus64", "dragonfly72"}
+}
+
+// TopoCollectivesProcs is the rank count of the comparison; 64 fills
+// fattree64 and torus64 exactly, so every host link is exercised.
+const TopoCollectivesProcs = 64
+
+// runBcast measures one broadcast of chunk bytes from rank 0.
+func runBcast(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error) {
+	return measureCollective(cfg, procs, func(r *smpi.Rank, c *smpi.Comm) {
+		c.Bcast(r, make([]byte, chunk), 0)
+	})
+}
+
+// runAllreduce measures one allreduce of chunk bytes (float64 sums).
+func runAllreduce(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error) {
+	return measureCollective(cfg, procs, func(r *smpi.Rank, c *smpi.Comm) {
+		sendbuf := make([]byte, chunk)
+		recvbuf := make([]byte, chunk)
+		c.Allreduce(r, sendbuf, recvbuf, smpi.Float64, smpi.OpSum)
+	})
+}
+
+// TopoCollectives compares ring against tree collectives across
+// interconnect shapes: a ring schedule only talks to neighbors (which tori
+// absorb on local cables), while binomial trees and recursive doubling jump
+// across the machine (which fat-tree spines and dragonfly global links must
+// carry). The flat cluster routes everything through the same backbone, so
+// it cannot express these differences — the point of the topology axis.
+// Every (topology, op, algorithm) point is one campaign job; chunk is the
+// per-rank payload in bytes (must be a multiple of 8; 0 means 256 KiB).
+func TopoCollectives(env *Env, chunk int64) (*TopoCollectivesResult, error) {
+	if chunk == 0 {
+		chunk = 256 * core.KiB
+	}
+	if chunk%8 != 0 {
+		return nil, fmt.Errorf("topo collectives: chunk %d not a multiple of the float64 size", chunk)
+	}
+	type point struct {
+		topo, op, algo string
+		run            func(smpi.Config, int, int64) (*collectiveRun, error)
+	}
+	var points []point
+	for _, topo := range topoCollectivesTopos() {
+		for _, algo := range []string{"binomial", "ring"} {
+			points = append(points, point{topo, "bcast", algo, runBcast})
+		}
+		for _, algo := range []string{"recursive-doubling", "ring"} {
+			points = append(points, point{topo, "allreduce", algo, runAllreduce})
+		}
+	}
+
+	jobs := make([]campaign.Job, 0, len(points))
+	for _, pt := range points {
+		plat, err := env.gridPlatform(pt.topo)
+		if err != nil {
+			return nil, err
+		}
+		cfg := surfConfig(plat, env.Piecewise)
+		switch pt.op {
+		case "bcast":
+			cfg.Algorithms.Bcast = pt.algo
+		default:
+			cfg.Algorithms.Allreduce = pt.algo
+		}
+		j := collectiveJob(fmt.Sprintf("topo/%s/%s/%s", pt.topo, pt.op, pt.algo),
+			cfg, TopoCollectivesProcs, chunk, pt.run)
+		j.Tags["topo"], j.Tags["op"], j.Tags["algo"] = pt.topo, pt.op, pt.algo
+		jobs = append(jobs, j)
+	}
+	runs, err := collectiveRuns(env, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TopoCollectivesResult{
+		Table: &Table{
+			Title: fmt.Sprintf("Cross-topology collectives: ring vs tree, %d procs, %s per rank (seconds)",
+				TopoCollectivesProcs, core.FormatBytes(chunk)),
+			Header: []string{"topo", "op", "tree_s", "ring_s", "ring/tree"},
+		},
+		Times: make(map[string]float64, len(points)),
+	}
+	for i, pt := range points {
+		res.Times[pt.topo+"/"+pt.op+"/"+pt.algo] = runs[i].Total
+	}
+	for _, topo := range topoCollectivesTopos() {
+		for _, op := range []string{"bcast", "allreduce"} {
+			tree := "binomial"
+			if op == "allreduce" {
+				tree = "recursive-doubling"
+			}
+			tt := res.Times[topo+"/"+op+"/"+tree]
+			rt := res.Times[topo+"/"+op+"/ring"]
+			res.Table.Add(topo, op, tt, rt, rt/tt)
+		}
+	}
+	for _, topo := range topoCollectivesTopos()[1:] {
+		spec, err := topology.ParseSpec(topo)
+		if err != nil {
+			return nil, err
+		}
+		m := spec.Metrics()
+		res.Table.Note("%s: %d hosts, %d links, diameter %d, bisection %.3g GB/s",
+			topo, m.Hosts, m.Links, m.Diameter, m.BisectionBandwidth/1e9)
+	}
+	res.Table.Note("ring maps onto neighbor links (tori); trees concentrate load on spines/backbones")
+	return res, nil
+}

@@ -113,7 +113,7 @@ func (s ClusterSpec) Build() (*Platform, error) {
 	}
 	backbone := p.AddLink(s.Name+"-backbone", s.BackboneBandwidth, s.BackboneLatency, policy)
 
-	p.router = func(a, b *Host) Route {
+	p.SetRouter(func(a, b *Host) Route {
 		var links []*Link
 		if a.Cabinet == b.Cabinet {
 			links = []*Link{nodes[a.ID].up, cabs[a.Cabinet].backplane, nodes[b.ID].down}
@@ -133,7 +133,7 @@ func (s ClusterSpec) Build() (*Platform, error) {
 			r.Latency += l.Latency
 		}
 		return r
-	}
+	})
 	return p, nil
 }
 

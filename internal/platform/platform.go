@@ -12,6 +12,7 @@ package platform
 
 import (
 	"fmt"
+	"sync"
 
 	"smpigo/internal/core"
 	"smpigo/internal/lmm"
@@ -76,10 +77,17 @@ type Platform struct {
 
 	byName map[string]*Host
 	// router computes the route between two distinct hosts. The cluster
-	// builder installs a hierarchical router; hand-built platforms use
-	// explicit pair routes instead.
+	// builder installs a hierarchical router, topology generators (package
+	// topology) install graph routers via SetRouter, and hand-built
+	// platforms use explicit pair routes instead.
 	router func(a, b *Host) Route
 	pairs  map[[2]int]Route
+	// routes memoizes router results per ordered host pair. Route sits on
+	// the per-message hot path, and router closures rebuild the link slice
+	// and re-sum latency on every call; the cache makes repeat lookups an
+	// allocation-free map hit. sync.Map because platforms are shared across
+	// concurrently running campaign jobs.
+	routes sync.Map // int64 (a.ID<<32 | b.ID) -> Route
 }
 
 // New returns an empty platform.
@@ -137,9 +145,22 @@ func (p *Platform) Host(name string) *Host { return p.byName[name] }
 // HostByID returns the host with the given dense ID.
 func (p *Platform) HostByID(id int) *Host { return p.hosts[id] }
 
+// SetRouter installs the routing function computing the route between two
+// distinct hosts. Results are memoized per host pair, so the function may
+// allocate freely; it must be deterministic (same pair, same route) and is
+// only consulted for pairs without an explicit AddRoute entry. Installing
+// a router drops routes memoized from any previous one. SetRouter is not
+// safe to call concurrently with Route.
+func (p *Platform) SetRouter(router func(a, b *Host) Route) {
+	p.router = router
+	p.routes.Clear()
+}
+
 // Route returns the route from a to b. Routing a host to itself returns an
 // empty route (loopback communications are instantaneous at the network
-// level; memory-copy costs belong to the MPI layer).
+// level; memory-copy costs belong to the MPI layer). Router-computed routes
+// are cached per ordered pair; Route is safe for concurrent use once the
+// platform is built.
 func (p *Platform) Route(a, b *Host) Route {
 	if a == b {
 		return Route{}
@@ -147,8 +168,14 @@ func (p *Platform) Route(a, b *Host) Route {
 	if r, ok := p.pairs[[2]int{a.ID, b.ID}]; ok {
 		return r
 	}
-	if p.router != nil {
-		return p.router(a, b)
+	if p.router == nil {
+		panic(fmt.Sprintf("platform: no route between %q and %q", a.Name, b.Name))
 	}
-	panic(fmt.Sprintf("platform: no route between %q and %q", a.Name, b.Name))
+	key := int64(a.ID)<<32 | int64(b.ID)
+	if r, ok := p.routes.Load(key); ok {
+		return r.(Route)
+	}
+	r := p.router(a, b)
+	p.routes.Store(key, r)
+	return r
 }

@@ -206,7 +206,11 @@ func TestXMLRoundTrip(t *testing.T) {
 	if len(specs) != 2 {
 		t.Fatalf("got %d specs, want 2", len(specs))
 	}
-	g := specs[0]
+	clusters := Clusters(specs)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(clusters))
+	}
+	g := clusters[0]
 	want := Griffon()
 	if g.Name != want.Name || g.NodeCount() != want.NodeCount() {
 		t.Errorf("griffon roundtrip mismatch: %+v", g)
@@ -229,6 +233,9 @@ func TestXMLErrors(t *testing.T) {
 	if _, err := ReadXML(strings.NewReader("not xml")); err == nil {
 		t.Error("garbage should fail")
 	}
+	if _, err := ReadXML(strings.NewReader("<platform version='1'><wat/></platform>")); err == nil {
+		t.Error("unregistered element should fail")
+	}
 	bad := `<platform version="1"><cluster id="x" speed="zzz" cabinets="4" bw="1Gbps" lat="1us" uplink_bw="1Gbps" uplink_lat="1us" bb_bw="1Gbps" bb_lat="1us"/></platform>`
 	if _, err := ReadXML(strings.NewReader(bad)); err == nil {
 		t.Error("bad speed should fail")
@@ -236,6 +243,37 @@ func TestXMLErrors(t *testing.T) {
 	badPolicy := `<platform version="1"><cluster id="x" speed="1Gf" cabinets="4" bw="1Gbps" lat="1us" uplink_bw="1Gbps" uplink_lat="1us" bb_bw="1Gbps" bb_lat="1us" bb_sharing="WAT"/></platform>`
 	if _, err := ReadXML(strings.NewReader(badPolicy)); err == nil {
 		t.Error("bad sharing policy should fail")
+	}
+}
+
+// TestRouteMemoization checks that router-computed routes are cached: the
+// installed router must only ever be consulted once per ordered host pair.
+func TestRouteMemoization(t *testing.T) {
+	p := New("memo")
+	a := p.AddHost("a", 1e9)
+	b := p.AddHost("b", 1e9)
+	l := p.AddLink("l", 1e9, core.Microsecond, lmm.Shared)
+	calls := 0
+	p.SetRouter(func(x, y *Host) Route {
+		calls++
+		return Route{Links: []*Link{l}, Latency: l.Latency}
+	})
+	for i := 0; i < 10; i++ {
+		if got := p.Route(a, b); len(got.Links) != 1 {
+			t.Fatalf("route %v", got)
+		}
+		p.Route(b, a)
+	}
+	if calls != 2 {
+		t.Errorf("router called %d times, want 2 (one per ordered pair)", calls)
+	}
+	// Installing a new router must drop the old router's memoized routes.
+	l2 := p.AddLink("l2", 1e9, core.Microsecond, lmm.Shared)
+	p.SetRouter(func(x, y *Host) Route {
+		return Route{Links: []*Link{l2, l2}, Latency: 2 * l2.Latency}
+	})
+	if got := p.Route(a, b); len(got.Links) != 2 {
+		t.Errorf("stale route served after SetRouter: %v", got)
 	}
 }
 

@@ -1,0 +1,51 @@
+package platform
+
+import "testing"
+
+// BenchmarkRoute measures Platform.Route on the per-message hot path: every
+// simulated point-to-point transfer resolves a route, so the cost of the
+// hierarchical router (and of the route cache in front of it) multiplies
+// into every experiment. The cross-cabinet case is the expensive one: the
+// uncached router allocated a 7-link slice and re-summed latency per call.
+func BenchmarkRoute(b *testing.B) {
+	p, err := Griffon().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	intra := [2]*Host{p.HostByID(0), p.HostByID(1)}
+	cross := [2]*Host{p.HostByID(0), p.HostByID(40)}
+
+	b.Run("intra-cabinet", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := p.Route(intra[0], intra[1])
+			if len(r.Links) != 3 {
+				b.Fatal("bad route")
+			}
+		}
+	})
+	b.Run("cross-cabinet", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := p.Route(cross[0], cross[1])
+			if len(r.Links) != 7 {
+				b.Fatal("bad route")
+			}
+		}
+	})
+	// All-pairs sweep: the access pattern of a collective over the whole
+	// machine (every pair touched once per iteration).
+	b.Run("all-pairs", func(b *testing.B) {
+		b.ReportAllocs()
+		hosts := p.Hosts()[:32]
+		for i := 0; i < b.N; i++ {
+			for _, a := range hosts {
+				for _, c := range hosts {
+					if a != c {
+						p.Route(a, c)
+					}
+				}
+			}
+		}
+	})
+}

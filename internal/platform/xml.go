@@ -10,8 +10,9 @@ import (
 	"smpigo/internal/core"
 )
 
-// The XML schema follows the spirit of SimGrid's platform DTD, compressed
-// to the <cluster> element that SMPI platform files actually use:
+// The XML schema follows the spirit of SimGrid's platform DTD: a <platform>
+// root holding one spec element per target machine. The <cluster> element
+// is the hierarchical cluster the paper's evaluation uses:
 //
 //	<platform version="1">
 //	  <cluster id="griffon" speed="1Gf" cabinets="33,27,32"
@@ -19,141 +20,228 @@ import (
 //	           uplink_bw="10Gbps" uplink_lat="4us"
 //	           bb_bw="10Gbps" bb_lat="2us" bb_sharing="FATPIPE"/>
 //	</platform>
+//
+// Additional elements (<fattree>, <torus>, <dragonfly>, ...) are registered
+// by the packages that define them via RegisterXMLSpec, so the dialect is
+// open: ReadXML decodes any element a Spec implementation has claimed.
 
-type xmlPlatform struct {
-	XMLName  xml.Name     `xml:"platform"`
-	Version  string       `xml:"version,attr"`
-	Clusters []xmlCluster `xml:"cluster"`
+// Spec describes a buildable platform: a cluster description or a generated
+// interconnect topology. Implementations are plain value types that can be
+// validated, instantiated, and round-tripped through the XML dialect.
+type Spec interface {
+	// Validate reports the first structural problem with the spec, if any.
+	Validate() error
+	// Build instantiates the platform.
+	Build() (*Platform, error)
+	// XMLElement returns the spec's element name and attribute list for
+	// serialization. The name must match the spec's RegisterXMLSpec entry.
+	XMLElement() (name string, attrs []xml.Attr)
 }
 
-type xmlCluster struct {
-	ID        string `xml:"id,attr"`
-	Speed     string `xml:"speed,attr"`
-	Cabinets  string `xml:"cabinets,attr"`
-	BW        string `xml:"bw,attr"`
-	Lat       string `xml:"lat,attr"`
-	BpBW      string `xml:"bp_bw,attr"`
-	BpLat     string `xml:"bp_lat,attr"`
-	UplinkBW  string `xml:"uplink_bw,attr"`
-	UplinkLat string `xml:"uplink_lat,attr"`
-	BBBW      string `xml:"bb_bw,attr"`
-	BBLat     string `xml:"bb_lat,attr"`
-	BBSharing string `xml:"bb_sharing,attr"`
+// xmlSpecDecoders maps element names to decoders; populated at init time by
+// RegisterXMLSpec, read-only afterwards.
+var xmlSpecDecoders = map[string]func(attrs map[string]string) (Spec, error){}
+
+// RegisterXMLSpec registers the decoder for a platform-file element. It is
+// meant to be called from init functions of spec-defining packages;
+// registering the same element twice panics.
+func RegisterXMLSpec(element string, decode func(attrs map[string]string) (Spec, error)) {
+	if _, dup := xmlSpecDecoders[element]; dup {
+		panic(fmt.Sprintf("platform: xml element %q registered twice", element))
+	}
+	xmlSpecDecoders[element] = decode
 }
 
-// WriteXML serializes one or more cluster specs as a platform file.
-func WriteXML(w io.Writer, specs ...ClusterSpec) error {
-	doc := xmlPlatform{Version: "1"}
+// Attr builds an xml.Attr, keeping XMLElement implementations terse.
+func Attr(name, format string, args ...any) xml.Attr {
+	return xml.Attr{Name: xml.Name{Local: name}, Value: fmt.Sprintf(format, args...)}
+}
+
+// WriteXML serializes one or more specs as a platform file.
+func WriteXML(w io.Writer, specs ...Spec) error {
 	for _, s := range specs {
 		if err := s.Validate(); err != nil {
 			return err
 		}
-		cabinets := make([]string, len(s.Cabinets))
-		for i, c := range s.Cabinets {
-			cabinets[i] = strconv.Itoa(c)
-		}
-		sharing := "SHARED"
-		if s.BackboneFatPipe {
-			sharing = "FATPIPE"
-		}
-		doc.Clusters = append(doc.Clusters, xmlCluster{
-			ID:        s.Name,
-			Speed:     fmt.Sprintf("%gf", s.NodeSpeed),
-			Cabinets:  strings.Join(cabinets, ","),
-			BW:        fmt.Sprintf("%gBps", s.NodeLinkBandwidth),
-			Lat:       fmt.Sprintf("%gs", float64(s.NodeLinkLatency)),
-			BpBW:      fmt.Sprintf("%gBps", s.CabinetBackplaneBandwidth),
-			BpLat:     fmt.Sprintf("%gs", float64(s.CabinetBackplaneLatency)),
-			UplinkBW:  fmt.Sprintf("%gBps", s.UplinkBandwidth),
-			UplinkLat: fmt.Sprintf("%gs", float64(s.UplinkLatency)),
-			BBBW:      fmt.Sprintf("%gBps", s.BackboneBandwidth),
-			BBLat:     fmt.Sprintf("%gs", float64(s.BackboneLatency)),
-			BBSharing: sharing,
-		})
 	}
 	if _, err := io.WriteString(w, xml.Header); err != nil {
 		return err
 	}
 	enc := xml.NewEncoder(w)
 	enc.Indent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	root := xml.StartElement{
+		Name: xml.Name{Local: "platform"},
+		Attr: []xml.Attr{Attr("version", "1")},
+	}
+	if err := enc.EncodeToken(root); err != nil {
+		return err
+	}
+	for _, s := range specs {
+		name, attrs := s.XMLElement()
+		el := xml.StartElement{Name: xml.Name{Local: name}, Attr: attrs}
+		if err := enc.EncodeToken(el); err != nil {
+			return err
+		}
+		if err := enc.EncodeToken(el.End()); err != nil {
+			return err
+		}
+	}
+	if err := enc.EncodeToken(root.End()); err != nil {
+		return err
+	}
+	if err := enc.Flush(); err != nil {
 		return err
 	}
 	_, err := io.WriteString(w, "\n")
 	return err
 }
 
-// ReadXML parses a platform file and returns the cluster specs it declares.
-func ReadXML(r io.Reader) ([]ClusterSpec, error) {
-	var doc xmlPlatform
-	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
-		return nil, fmt.Errorf("platform xml: %w", err)
-	}
-	var specs []ClusterSpec
-	for _, c := range doc.Clusters {
-		spec, err := c.toSpec()
+// ReadXML parses a platform file and returns the specs it declares, in
+// document order. Elements are decoded through the RegisterXMLSpec registry,
+// so topology elements are only recognized when their defining package is
+// linked in.
+func ReadXML(r io.Reader) ([]Spec, error) {
+	dec := xml.NewDecoder(r)
+	var specs []Spec
+	sawRoot := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("platform xml: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		if !sawRoot {
+			if start.Name.Local != "platform" {
+				return nil, fmt.Errorf("platform xml: root element is <%s>, want <platform>", start.Name.Local)
+			}
+			sawRoot = true
+			continue
+		}
+		decode := xmlSpecDecoders[start.Name.Local]
+		if decode == nil {
+			return nil, fmt.Errorf("platform xml: unknown element <%s>", start.Name.Local)
+		}
+		attrs := make(map[string]string, len(start.Attr))
+		for _, a := range start.Attr {
+			attrs[a.Name.Local] = a.Value
+		}
+		spec, err := decode(attrs)
 		if err != nil {
 			return nil, err
 		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
 		specs = append(specs, spec)
+		if err := dec.Skip(); err != nil {
+			return nil, fmt.Errorf("platform xml: %w", err)
+		}
+	}
+	if !sawRoot {
+		return nil, fmt.Errorf("platform xml: no <platform> element")
 	}
 	if len(specs) == 0 {
-		return nil, fmt.Errorf("platform xml: no <cluster> element")
+		return nil, fmt.Errorf("platform xml: no spec element inside <platform>")
 	}
 	return specs, nil
 }
 
-func (c xmlCluster) toSpec() (ClusterSpec, error) {
+// Clusters filters the ClusterSpec entries out of a mixed spec list.
+func Clusters(specs []Spec) []ClusterSpec {
+	var out []ClusterSpec
+	for _, s := range specs {
+		if c, ok := s.(ClusterSpec); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func init() {
+	RegisterXMLSpec("cluster", decodeClusterXML)
+}
+
+// XMLElement implements Spec.
+func (s ClusterSpec) XMLElement() (string, []xml.Attr) {
+	cabinets := make([]string, len(s.Cabinets))
+	for i, c := range s.Cabinets {
+		cabinets[i] = strconv.Itoa(c)
+	}
+	sharing := "SHARED"
+	if s.BackboneFatPipe {
+		sharing = "FATPIPE"
+	}
+	return "cluster", []xml.Attr{
+		Attr("id", "%s", s.Name),
+		Attr("speed", "%gf", s.NodeSpeed),
+		Attr("cabinets", "%s", strings.Join(cabinets, ",")),
+		Attr("bw", "%gBps", s.NodeLinkBandwidth),
+		Attr("lat", "%gs", float64(s.NodeLinkLatency)),
+		Attr("bp_bw", "%gBps", s.CabinetBackplaneBandwidth),
+		Attr("bp_lat", "%gs", float64(s.CabinetBackplaneLatency)),
+		Attr("uplink_bw", "%gBps", s.UplinkBandwidth),
+		Attr("uplink_lat", "%gs", float64(s.UplinkLatency)),
+		Attr("bb_bw", "%gBps", s.BackboneBandwidth),
+		Attr("bb_lat", "%gs", float64(s.BackboneLatency)),
+		Attr("bb_sharing", "%s", sharing),
+	}
+}
+
+func decodeClusterXML(attrs map[string]string) (Spec, error) {
 	var spec ClusterSpec
 	var err error
-	fail := func(field string, e error) (ClusterSpec, error) {
-		return ClusterSpec{}, fmt.Errorf("cluster %q: attribute %s: %w", c.ID, field, e)
+	id := attrs["id"]
+	fail := func(field string, e error) (Spec, error) {
+		return nil, fmt.Errorf("cluster %q: attribute %s: %w", id, field, e)
 	}
-	spec.Name = c.ID
-	if spec.NodeSpeed, err = core.ParseFlops(c.Speed); err != nil {
+	spec.Name = id
+	if spec.NodeSpeed, err = core.ParseFlops(attrs["speed"]); err != nil {
 		return fail("speed", err)
 	}
-	for _, part := range strings.Split(c.Cabinets, ",") {
+	for _, part := range strings.Split(attrs["cabinets"], ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
 			return fail("cabinets", err)
 		}
 		spec.Cabinets = append(spec.Cabinets, n)
 	}
-	if spec.NodeLinkBandwidth, err = core.ParseRate(c.BW); err != nil {
+	if spec.NodeLinkBandwidth, err = core.ParseRate(attrs["bw"]); err != nil {
 		return fail("bw", err)
 	}
-	if spec.NodeLinkLatency, err = core.ParseDuration(c.Lat); err != nil {
+	if spec.NodeLinkLatency, err = core.ParseDuration(attrs["lat"]); err != nil {
 		return fail("lat", err)
 	}
-	if spec.CabinetBackplaneBandwidth, err = core.ParseRate(c.BpBW); err != nil {
+	if spec.CabinetBackplaneBandwidth, err = core.ParseRate(attrs["bp_bw"]); err != nil {
 		return fail("bp_bw", err)
 	}
-	if spec.CabinetBackplaneLatency, err = core.ParseDuration(c.BpLat); err != nil {
+	if spec.CabinetBackplaneLatency, err = core.ParseDuration(attrs["bp_lat"]); err != nil {
 		return fail("bp_lat", err)
 	}
-	if spec.UplinkBandwidth, err = core.ParseRate(c.UplinkBW); err != nil {
+	if spec.UplinkBandwidth, err = core.ParseRate(attrs["uplink_bw"]); err != nil {
 		return fail("uplink_bw", err)
 	}
-	if spec.UplinkLatency, err = core.ParseDuration(c.UplinkLat); err != nil {
+	if spec.UplinkLatency, err = core.ParseDuration(attrs["uplink_lat"]); err != nil {
 		return fail("uplink_lat", err)
 	}
-	if spec.BackboneBandwidth, err = core.ParseRate(c.BBBW); err != nil {
+	if spec.BackboneBandwidth, err = core.ParseRate(attrs["bb_bw"]); err != nil {
 		return fail("bb_bw", err)
 	}
-	if spec.BackboneLatency, err = core.ParseDuration(c.BBLat); err != nil {
+	if spec.BackboneLatency, err = core.ParseDuration(attrs["bb_lat"]); err != nil {
 		return fail("bb_lat", err)
 	}
-	switch strings.ToUpper(strings.TrimSpace(c.BBSharing)) {
+	switch strings.ToUpper(strings.TrimSpace(attrs["bb_sharing"])) {
 	case "", "SHARED":
 		spec.BackboneFatPipe = false
 	case "FATPIPE":
 		spec.BackboneFatPipe = true
 	default:
-		return fail("bb_sharing", fmt.Errorf("unknown policy %q", c.BBSharing))
-	}
-	if err := spec.Validate(); err != nil {
-		return ClusterSpec{}, err
+		return fail("bb_sharing", fmt.Errorf("unknown policy %q", attrs["bb_sharing"]))
 	}
 	return spec, nil
 }

@@ -11,7 +11,8 @@ import (
 // reproduction provides the main alternatives so the choice can be studied
 // (see the ablation benchmarks).
 type Algorithms struct {
-	// Bcast: "binomial" (default) or "flat".
+	// Bcast: "binomial" (default), "ring" (store-and-forward chain, the
+	// neighbor-friendly schedule on ring-like topologies), or "flat".
 	Bcast string
 	// Scatter: "binomial" (default, the paper's Figure 6 tree) or "flat".
 	Scatter string
@@ -25,7 +26,10 @@ type Algorithms struct {
 	// Reduce: "binomial" (default) or "flat".
 	Reduce string
 	// Allreduce: "recursive-doubling" (default; falls back to
-	// reduce+bcast for non-power-of-two sizes) or "reduce-bcast".
+	// reduce+bcast for non-power-of-two sizes), "ring" (chunked
+	// reduce-scatter + allgather ring, bandwidth-optimal and
+	// neighbor-friendly; falls back to reduce+bcast when the buffer has
+	// fewer elements than ranks), or "reduce-bcast".
 	Allreduce string
 	// Barrier: "dissemination" (default) or "tree".
 	Barrier string
@@ -72,6 +76,15 @@ func (c *Comm) Bcast(r *Rank, buf []byte, root int) {
 	switch c.w.cfg.Algorithms.Bcast {
 	case "binomial":
 		c.bcastBinomial(r, buf, root, tagBcast)
+	case "ring":
+		me, p := c.mustRank(r), c.Size()
+		rel := (me - root + p) % p
+		if rel > 0 {
+			r.Recv(c, buf, (me-1+p)%p, tagBcast)
+		}
+		if rel < p-1 {
+			r.Send(c, buf, (me+1)%p, tagBcast)
+		}
 	case "flat":
 		me := c.mustRank(r)
 		if me == root {
@@ -482,12 +495,57 @@ func (c *Comm) Allreduce(r *Rank, sendbuf, recvbuf []byte, dt Datatype, op Op) {
 			op.Apply(acc, scratch, dt)
 		}
 		copy(recvbuf, acc)
-	case algo == "recursive-doubling" || algo == "reduce-bcast":
+	case algo == "ring" && p > 1 && dt.Size() > 0 && len(sendbuf)/dt.Size() >= p:
+		c.allreduceRing(r, sendbuf, recvbuf, dt, op)
+	case algo == "recursive-doubling" || algo == "reduce-bcast" || algo == "ring":
 		c.reduceBinomial(r, sendbuf, recvbuf, dt, op, 0, tagAllreduce)
 		c.Bcast(r, recvbuf, 0)
 	default:
 		badAlgo("allreduce", algo)
 	}
+}
+
+// allreduceRing is the bandwidth-optimal ring allreduce: the buffer is cut
+// into P chunks; P-1 reduce-scatter steps leave each rank owning one fully
+// reduced chunk, and P-1 allgather steps circulate the reduced chunks. All
+// traffic flows between ring neighbors, which maps exactly onto torus and
+// ring interconnects (no cross-machine hops, unlike recursive doubling).
+func (c *Comm) allreduceRing(r *Rank, sendbuf, recvbuf []byte, dt Datatype, op Op) {
+	me, p := c.mustRank(r), c.Size()
+	es := dt.Size()
+	elems := len(sendbuf) / es
+	// Chunk boundaries in elements: the first elems%p chunks get one extra.
+	off := make([]int, p+1)
+	base, rem := elems/p, elems%p
+	for i := 0; i < p; i++ {
+		off[i+1] = off[i] + base
+		if i < rem {
+			off[i+1]++
+		}
+	}
+	chunk := func(buf []byte, i int) []byte { return buf[off[i]*es : off[i+1]*es] }
+
+	acc := clone(sendbuf)
+	scratch := make([]byte, (base+1)*es)
+	right, left := (me+1)%p, (me-1+p)%p
+	// Reduce-scatter: at step s, pass chunk (me-s) rightwards and fold the
+	// incoming chunk (me-s-1) into the accumulator. After P-1 steps rank me
+	// owns the fully reduced chunk (me+1) mod P.
+	for s := 0; s < p-1; s++ {
+		sendIdx := (me - s + p) % p
+		recvIdx := (me - s - 1 + p) % p
+		in := scratch[:len(chunk(acc, recvIdx))]
+		r.Sendrecv(c, chunk(acc, sendIdx), right, tagAllreduce, in, left, tagAllreduce)
+		op.Apply(chunk(acc, recvIdx), in, dt)
+	}
+	// Allgather: circulate the reduced chunks around the ring.
+	for s := 0; s < p-1; s++ {
+		sendIdx := (me + 1 - s + p) % p
+		recvIdx := (me - s + p) % p
+		r.Sendrecv(c, chunk(acc, sendIdx), right, tagAllreduce,
+			chunk(acc, recvIdx), left, tagAllreduce)
+	}
+	copy(recvbuf, acc)
 }
 
 // Scan computes the inclusive prefix reduction: rank i receives

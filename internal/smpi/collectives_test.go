@@ -29,7 +29,7 @@ func forEachSize(t *testing.T, f func(t *testing.T, p int)) {
 }
 
 func TestBcastVariants(t *testing.T) {
-	for _, algo := range []string{"binomial", "flat"} {
+	for _, algo := range []string{"binomial", "ring", "flat"} {
 		t.Run(algo, func(t *testing.T) {
 			forEachSize(t, func(t *testing.T, p int) {
 				cfg := testConfig(p)
@@ -190,7 +190,7 @@ func TestReduceVariants(t *testing.T) {
 }
 
 func TestAllreduceVariants(t *testing.T) {
-	for _, algo := range []string{"recursive-doubling", "reduce-bcast"} {
+	for _, algo := range []string{"recursive-doubling", "reduce-bcast", "ring"} {
 		t.Run(algo, func(t *testing.T) {
 			forEachSize(t, func(t *testing.T, p int) {
 				cfg := testConfig(p)
@@ -207,6 +207,35 @@ func TestAllreduceVariants(t *testing.T) {
 			})
 		})
 	}
+}
+
+// TestAllreduceRingChunked drives the chunked ring path with a buffer big
+// enough to split (elems >= p, uneven chunk sizes) and checks it agrees
+// with the recursive-doubling result element-wise.
+func TestAllreduceRingChunked(t *testing.T) {
+	forEachSize(t, func(t *testing.T, p int) {
+		elems := 2*p + 3 // uneven: the first few chunks get an extra element
+		cfg := testConfig(p)
+		cfg.Algorithms.Allreduce = "ring"
+		mustRun(t, cfg, func(r *Rank) {
+			in := make([]float64, elems)
+			for i := range in {
+				in[i] = float64(r.Rank()*elems + i)
+			}
+			out := make([]byte, elems*8)
+			r.Comm().Allreduce(r, Float64sToBytes(in), out, Float64, OpSum)
+			got := BytesToFloat64s(out)
+			for i := range got {
+				var want float64
+				for rank := 0; rank < p; rank++ {
+					want += float64(rank*elems + i)
+				}
+				if got[i] != want {
+					t.Fatalf("rank %d elem %d = %v, want %v", r.Rank(), i, got[i], want)
+				}
+			}
+		})
+	})
 }
 
 func TestAllreduceMax(t *testing.T) {

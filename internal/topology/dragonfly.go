@@ -1,0 +1,266 @@
+package topology
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+
+	"smpigo/internal/core"
+	"smpigo/internal/lmm"
+	"smpigo/internal/platform"
+)
+
+// DragonflySpec describes a dragonfly (Kim et al. 2008, the interconnect of
+// Cray Cascade/Slingshot machines): Groups of RoutersPerGroup routers, each
+// serving HostsPerRouter hosts. Routers within a group form a complete
+// graph over local links; every pair of groups is joined by exactly one
+// global cable, attached round-robin to the groups' routers.
+type DragonflySpec struct {
+	// Name prefixes host and link names.
+	Name string
+	// Groups is the number of router groups (>= 2).
+	Groups int
+	// RoutersPerGroup is the number of routers per group.
+	RoutersPerGroup int
+	// HostsPerRouter is the number of hosts attached to each router.
+	HostsPerRouter int
+	// HostSpeed is the per-host compute speed in flop/s.
+	HostSpeed float64
+	// HostLinkBandwidth/HostLinkLatency describe the host-router links.
+	HostLinkBandwidth float64
+	HostLinkLatency   core.Duration
+	// LocalBandwidth/LocalLatency describe intra-group router-router links.
+	LocalBandwidth float64
+	LocalLatency   core.Duration
+	// GlobalBandwidth/GlobalLatency describe the long inter-group cables.
+	GlobalBandwidth float64
+	GlobalLatency   core.Duration
+}
+
+// Hosts returns the number of hosts.
+func (s DragonflySpec) Hosts() int { return s.Groups * s.RoutersPerGroup * s.HostsPerRouter }
+
+// Validate implements platform.Spec.
+func (s DragonflySpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("dragonfly spec: empty name")
+	case s.Groups < 2:
+		return fmt.Errorf("dragonfly spec %q: %d groups, want >= 2", s.Name, s.Groups)
+	case s.RoutersPerGroup < 1:
+		return fmt.Errorf("dragonfly spec %q: %d routers per group, want >= 1", s.Name, s.RoutersPerGroup)
+	case s.HostsPerRouter < 1:
+		return fmt.Errorf("dragonfly spec %q: %d hosts per router, want >= 1", s.Name, s.HostsPerRouter)
+	case s.HostSpeed <= 0:
+		return fmt.Errorf("dragonfly spec %q: non-positive host speed", s.Name)
+	case s.HostLinkBandwidth <= 0 || s.LocalBandwidth <= 0 || s.GlobalBandwidth <= 0:
+		return fmt.Errorf("dragonfly spec %q: non-positive bandwidth", s.Name)
+	}
+	return nil
+}
+
+// gateway returns the router index in group g holding the global cable to
+// group peer: the g-1 cables of a group are dealt round-robin over its
+// routers.
+func (s DragonflySpec) gateway(g, peer int) int {
+	idx := peer
+	if peer > g {
+		idx--
+	}
+	return idx % s.RoutersPerGroup
+}
+
+// Build implements platform.Spec: host up/down links, directed local links
+// between every intra-group router pair, one full-duplex global cable per
+// group pair, and the minimal router (local hop to the gateway, one global
+// hop, local hop to the destination router).
+func (s DragonflySpec) Build() (*platform.Platform, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := platform.New(s.Name)
+	g, a, ph := s.Groups, s.RoutersPerGroup, s.HostsPerRouter
+	n := s.Hosts()
+	hostUp := make([]*platform.Link, n)
+	hostDown := make([]*platform.Link, n)
+	for i := 0; i < n; i++ {
+		p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+		hostUp[i] = p.AddLink(fmt.Sprintf("%s-%d-up", s.Name, i),
+			s.HostLinkBandwidth, s.HostLinkLatency, lmm.Shared)
+		hostDown[i] = p.AddLink(fmt.Sprintf("%s-%d-down", s.Name, i),
+			s.HostLinkBandwidth, s.HostLinkLatency, lmm.Shared)
+	}
+	// local[gi][r1][r2] is the directed link r1 -> r2 inside group gi.
+	local := make([][][]*platform.Link, g)
+	for gi := 0; gi < g; gi++ {
+		local[gi] = make([][]*platform.Link, a)
+		for r1 := 0; r1 < a; r1++ {
+			local[gi][r1] = make([]*platform.Link, a)
+			for r2 := 0; r2 < a; r2++ {
+				if r1 == r2 {
+					continue
+				}
+				local[gi][r1][r2] = p.AddLink(fmt.Sprintf("%s-g%d-r%d-r%d", s.Name, gi, r1, r2),
+					s.LocalBandwidth, s.LocalLatency, lmm.Shared)
+			}
+		}
+	}
+	// global[gi][gj] is the directed link gi -> gj (gi != gj).
+	global := make([][]*platform.Link, g)
+	for gi := 0; gi < g; gi++ {
+		global[gi] = make([]*platform.Link, g)
+	}
+	for gi := 0; gi < g; gi++ {
+		for gj := gi + 1; gj < g; gj++ {
+			global[gi][gj] = p.AddLink(fmt.Sprintf("%s-g%d-g%d", s.Name, gi, gj),
+				s.GlobalBandwidth, s.GlobalLatency, lmm.Shared)
+			global[gj][gi] = p.AddLink(fmt.Sprintf("%s-g%d-g%d", s.Name, gj, gi),
+				s.GlobalBandwidth, s.GlobalLatency, lmm.Shared)
+		}
+	}
+
+	p.SetRouter(func(ha, hb *platform.Host) platform.Route {
+		src, dst := ha.ID, hb.ID
+		srcRouter, dstRouter := src/ph, dst/ph
+		srcGroup, dstGroup := srcRouter/a, dstRouter/a
+		sr, dr := srcRouter%a, dstRouter%a
+
+		links := []*platform.Link{hostUp[src]}
+		switch {
+		case srcRouter == dstRouter:
+			// Same router: up and straight back down.
+		case srcGroup == dstGroup:
+			links = append(links, local[srcGroup][sr][dr])
+		default:
+			gw := s.gateway(srcGroup, dstGroup)
+			if sr != gw {
+				links = append(links, local[srcGroup][sr][gw])
+			}
+			links = append(links, global[srcGroup][dstGroup])
+			gw = s.gateway(dstGroup, srcGroup)
+			if gw != dr {
+				links = append(links, local[dstGroup][gw][dr])
+			}
+		}
+		links = append(links, hostDown[dst])
+		r := platform.Route{Links: links}
+		for _, l := range links {
+			r.Latency += l.Latency
+		}
+		return r
+	})
+	return p, nil
+}
+
+// Metrics implements Spec. The bisection cut splits the groups into halves;
+// only global cables cross it.
+func (s DragonflySpec) Metrics() Metrics {
+	g, a := s.Groups, s.RoutersPerGroup
+	n := s.Hosts()
+	m := Metrics{
+		Hosts: n,
+		Links: 2*n + g*a*(a-1) + g*(g-1),
+	}
+	m.Diameter = 3 // up, global, down
+	if a > 1 {
+		m.Diameter = 5 // up, local, global, local, down
+	}
+	half := g / 2
+	m.BisectionBandwidth = float64(half*(g-half)) * s.GlobalBandwidth
+	return m
+}
+
+// XMLElement implements platform.Spec.
+func (s DragonflySpec) XMLElement() (string, []xml.Attr) {
+	return "dragonfly", []xml.Attr{
+		platform.Attr("id", "%s", s.Name),
+		platform.Attr("speed", "%gf", s.HostSpeed),
+		platform.Attr("groups", "%d", s.Groups),
+		platform.Attr("routers", "%d", s.RoutersPerGroup),
+		platform.Attr("hosts", "%d", s.HostsPerRouter),
+		platform.Attr("bw", "%gBps", s.HostLinkBandwidth),
+		platform.Attr("lat", "%gs", float64(s.HostLinkLatency)),
+		platform.Attr("local_bw", "%gBps", s.LocalBandwidth),
+		platform.Attr("local_lat", "%gs", float64(s.LocalLatency)),
+		platform.Attr("global_bw", "%gBps", s.GlobalBandwidth),
+		platform.Attr("global_lat", "%gs", float64(s.GlobalLatency)),
+	}
+}
+
+func decodeDragonflyXML(attrs map[string]string) (platform.Spec, error) {
+	var spec DragonflySpec
+	var err error
+	fail := func(field string, e error) (platform.Spec, error) {
+		return nil, fmt.Errorf("dragonfly %q: attribute %s: %w", attrs["id"], field, e)
+	}
+	spec.Name = attrs["id"]
+	if spec.HostSpeed, err = core.ParseFlops(attrs["speed"]); err != nil {
+		return fail("speed", err)
+	}
+	if spec.Groups, err = strconv.Atoi(attrs["groups"]); err != nil {
+		return fail("groups", err)
+	}
+	if spec.RoutersPerGroup, err = strconv.Atoi(attrs["routers"]); err != nil {
+		return fail("routers", err)
+	}
+	if spec.HostsPerRouter, err = strconv.Atoi(attrs["hosts"]); err != nil {
+		return fail("hosts", err)
+	}
+	if spec.HostLinkBandwidth, err = core.ParseRate(attrs["bw"]); err != nil {
+		return fail("bw", err)
+	}
+	if spec.HostLinkLatency, err = core.ParseDuration(attrs["lat"]); err != nil {
+		return fail("lat", err)
+	}
+	if spec.LocalBandwidth, err = core.ParseRate(attrs["local_bw"]); err != nil {
+		return fail("local_bw", err)
+	}
+	if spec.LocalLatency, err = core.ParseDuration(attrs["local_lat"]); err != nil {
+		return fail("local_lat", err)
+	}
+	if spec.GlobalBandwidth, err = core.ParseRate(attrs["global_bw"]); err != nil {
+		return fail("global_bw", err)
+	}
+	if spec.GlobalLatency, err = core.ParseDuration(attrs["global_lat"]); err != nil {
+		return fail("global_lat", err)
+	}
+	return spec, nil
+}
+
+// Dragonfly72 is a balanced dragonfly with 9 groups of 4 routers and 2
+// hosts per router (a = 2p, g = 2a + 1 in Kim et al.'s balancing rule gives
+// the 72-host configuration): 72 hosts, diameter 5.
+func Dragonfly72() DragonflySpec {
+	return DragonflySpec{
+		Name:              "dragonfly72",
+		Groups:            9,
+		RoutersPerGroup:   4,
+		HostsPerRouter:    2,
+		HostSpeed:         1e9,
+		HostLinkBandwidth: 125e6,
+		HostLinkLatency:   10 * core.Microsecond,
+		LocalBandwidth:    125e6,
+		LocalLatency:      5 * core.Microsecond,
+		GlobalBandwidth:   250e6,
+		GlobalLatency:     25 * core.Microsecond,
+	}
+}
+
+func parseDragonfly(rest string) (Spec, error) {
+	dims, err := parseIntList(rest, "x")
+	if err != nil {
+		return nil, fmt.Errorf("topology: dragonfly shape: %w", err)
+	}
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("topology: dragonfly spec %q: want dragonfly:<groups>x<routers>x<hosts>", rest)
+	}
+	spec := Dragonfly72()
+	spec.Name = specName("dragonfly", rest)
+	spec.Groups, spec.RoutersPerGroup, spec.HostsPerRouter = dims[0], dims[1], dims[2]
+	return spec, spec.Validate()
+}
+
+func init() {
+	platform.RegisterXMLSpec("dragonfly", decodeDragonflyXML)
+	registerPreset("dragonfly72", func() Spec { return Dragonfly72() })
+}

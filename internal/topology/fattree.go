@@ -1,0 +1,259 @@
+package topology
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"smpigo/internal/core"
+	"smpigo/internal/lmm"
+	"smpigo/internal/platform"
+)
+
+// FatTreeSpec describes a generalized k-ary fat-tree, the XGFT(h; Down; Up)
+// of Öhring et al.: h = len(Down) switch levels above the hosts, where a
+// level-l node fans out to Down[l] children and every level-l child is
+// wired to Up[l] redundant parents. The classic non-oversubscribed two-level
+// tree with 4-port leaf switches is Down=[4,4], Up=[1,4].
+type FatTreeSpec struct {
+	// Name prefixes host and link names.
+	Name string
+	// Down[l] is the number of children per level-(l+1) node; the host
+	// count is the product of all entries.
+	Down []int
+	// Up[l] is the number of redundant parents each level-l node connects
+	// to; Up[0] is the number of uplinks per host.
+	Up []int
+	// HostSpeed is the per-host compute speed in flop/s.
+	HostSpeed float64
+	// LinkBandwidth/LinkLatency apply to every link of the tree. Each
+	// child-parent cable is a full-duplex pair of directed links.
+	LinkBandwidth float64
+	LinkLatency   core.Duration
+}
+
+// Hosts returns the number of hosts (the product of Down).
+func (s FatTreeSpec) Hosts() int { return product(s.Down) }
+
+// Validate implements platform.Spec.
+func (s FatTreeSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("fattree spec: empty name")
+	case len(s.Down) == 0:
+		return fmt.Errorf("fattree spec %q: no levels", s.Name)
+	case len(s.Up) != len(s.Down):
+		return fmt.Errorf("fattree spec %q: %d down levels but %d up levels", s.Name, len(s.Down), len(s.Up))
+	case s.HostSpeed <= 0:
+		return fmt.Errorf("fattree spec %q: non-positive host speed", s.Name)
+	case s.LinkBandwidth <= 0:
+		return fmt.Errorf("fattree spec %q: non-positive link bandwidth", s.Name)
+	}
+	for l := range s.Down {
+		if s.Down[l] < 2 {
+			return fmt.Errorf("fattree spec %q: level %d has %d down ports, want >= 2", s.Name, l, s.Down[l])
+		}
+		if s.Up[l] < 1 {
+			return fmt.Errorf("fattree spec %q: level %d has %d up ports, want >= 1", s.Name, l, s.Up[l])
+		}
+	}
+	return nil
+}
+
+// prodDown[l] is the subtree size below level l (Down[0]*...*Down[l-1]);
+// prodUp[l] is the number of redundant copies of a level-l node
+// (Up[0]*...*Up[l-1]).
+func (s FatTreeSpec) products() (prodDown, prodUp []int) {
+	h := len(s.Down)
+	prodDown = make([]int, h+1)
+	prodUp = make([]int, h+1)
+	prodDown[0], prodUp[0] = 1, 1
+	for l := 0; l < h; l++ {
+		prodDown[l+1] = prodDown[l] * s.Down[l]
+		prodUp[l+1] = prodUp[l] * s.Up[l]
+	}
+	return prodDown, prodUp
+}
+
+// Build implements platform.Spec: it emits one host per leaf, a full-duplex
+// link pair per child-parent cable, and installs the D-mod-k router.
+//
+// Nodes at level l are labeled (a, b): a indexes the subtree position
+// (a = hostID / prodDown[l] for the subtree holding hostID) and b the
+// redundant copy (b < prodUp[l]). Child (a, b) at level l-1 is wired to the
+// Up[l-1] parents (a/Down[l-1], b*Up[l-1]+j).
+func (s FatTreeSpec) Build() (*platform.Platform, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := platform.New(s.Name)
+	h := len(s.Down)
+	prodDown, prodUp := s.products()
+	n := prodDown[h]
+	for i := 0; i < n; i++ {
+		p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+	}
+
+	// up[l][child][j] / down[l][child][j]: the directed links between the
+	// child node indexed a*prodUp[l-1]+b at level l-1 and its j-th parent.
+	up := make([][][]*platform.Link, h+1)
+	down := make([][][]*platform.Link, h+1)
+	for l := 1; l <= h; l++ {
+		children := (n / prodDown[l-1]) * prodUp[l-1]
+		up[l] = make([][]*platform.Link, children)
+		down[l] = make([][]*platform.Link, children)
+		for c := 0; c < children; c++ {
+			up[l][c] = make([]*platform.Link, s.Up[l-1])
+			down[l][c] = make([]*platform.Link, s.Up[l-1])
+			for j := 0; j < s.Up[l-1]; j++ {
+				base := fmt.Sprintf("%s-l%d-c%d-p%d", s.Name, l, c, j)
+				up[l][c][j] = p.AddLink(base+"-up", s.LinkBandwidth, s.LinkLatency, lmm.Shared)
+				down[l][c][j] = p.AddLink(base+"-down", s.LinkBandwidth, s.LinkLatency, lmm.Shared)
+			}
+		}
+	}
+
+	p.SetRouter(func(a, b *platform.Host) platform.Route {
+		src, dst := a.ID, b.ID
+		// Nearest common ancestor level: the first level whose subtrees
+		// contain both hosts.
+		top := 1
+		for src/prodDown[top] != dst/prodDown[top] {
+			top++
+		}
+		links := make([]*platform.Link, 0, 2*top)
+		// Ascend, choosing the redundant parent by the destination's digit
+		// at each level (D-mod-k): traffic to one host always converges
+		// through the same switch copies.
+		ai, bi := src, 0
+		for l := 1; l <= top; l++ {
+			j := (dst / prodUp[l-1]) % s.Up[l-1]
+			links = append(links, up[l][ai*prodUp[l-1]+bi][j])
+			bi = bi*s.Up[l-1] + j
+			ai /= s.Down[l-1]
+		}
+		// Descend: the downward path from the chosen ancestor copy to the
+		// destination is unique.
+		for l := top; l >= 1; l-- {
+			j := bi % s.Up[l-1]
+			bi /= s.Up[l-1]
+			child := (dst/prodDown[l-1])*prodUp[l-1] + bi
+			links = append(links, down[l][child][j])
+		}
+		r := platform.Route{Links: links}
+		for _, l := range links {
+			r.Latency += l.Latency
+		}
+		return r
+	})
+	return p, nil
+}
+
+// Metrics implements Spec. The bisection cut splits the tree at the top
+// level; its capacity is half the thinnest level's aggregate up-bandwidth,
+// so an unoversubscribed tree reports (hosts/2)*Up[0]*LinkBandwidth.
+func (s FatTreeSpec) Metrics() Metrics {
+	h := len(s.Down)
+	prodDown, prodUp := s.products()
+	n := prodDown[h]
+	m := Metrics{Hosts: n, Diameter: 2 * h}
+	minLevel := 0
+	for l := 1; l <= h; l++ {
+		cables := (n / prodDown[l-1]) * prodUp[l-1] * s.Up[l-1]
+		m.Links += 2 * cables
+		if minLevel == 0 || cables < minLevel {
+			minLevel = cables
+		}
+	}
+	m.BisectionBandwidth = float64(minLevel) / 2 * s.LinkBandwidth
+	return m
+}
+
+// XMLElement implements platform.Spec.
+func (s FatTreeSpec) XMLElement() (string, []xml.Attr) {
+	return "fattree", []xml.Attr{
+		platform.Attr("id", "%s", s.Name),
+		platform.Attr("speed", "%gf", s.HostSpeed),
+		platform.Attr("down", "%s", joinInts(s.Down, ",")),
+		platform.Attr("up", "%s", joinInts(s.Up, ",")),
+		platform.Attr("bw", "%gBps", s.LinkBandwidth),
+		platform.Attr("lat", "%gs", float64(s.LinkLatency)),
+	}
+}
+
+func decodeFatTreeXML(attrs map[string]string) (platform.Spec, error) {
+	var spec FatTreeSpec
+	var err error
+	fail := func(field string, e error) (platform.Spec, error) {
+		return nil, fmt.Errorf("fattree %q: attribute %s: %w", attrs["id"], field, e)
+	}
+	spec.Name = attrs["id"]
+	if spec.HostSpeed, err = core.ParseFlops(attrs["speed"]); err != nil {
+		return fail("speed", err)
+	}
+	if spec.Down, err = parseIntList(attrs["down"], ","); err != nil {
+		return fail("down", err)
+	}
+	if spec.Up, err = parseIntList(attrs["up"], ","); err != nil {
+		return fail("up", err)
+	}
+	if spec.LinkBandwidth, err = core.ParseRate(attrs["bw"]); err != nil {
+		return fail("bw", err)
+	}
+	if spec.LinkLatency, err = core.ParseDuration(attrs["lat"]); err != nil {
+		return fail("lat", err)
+	}
+	return spec, nil
+}
+
+// FatTree16 is the classic non-oversubscribed two-level fat-tree: 16 hosts
+// under 4-down-port leaf switches, 4 spine switches, full bisection.
+func FatTree16() FatTreeSpec {
+	return FatTreeSpec{
+		Name:          "fattree16",
+		Down:          []int{4, 4},
+		Up:            []int{1, 4},
+		HostSpeed:     1e9,
+		LinkBandwidth: 125e6,
+		LinkLatency:   10 * core.Microsecond,
+	}
+}
+
+// FatTree64 is a three-level 64-host fat-tree with 2:1 oversubscription at
+// the two upper levels — a realistic mid-size cluster spine.
+func FatTree64() FatTreeSpec {
+	return FatTreeSpec{
+		Name:          "fattree64",
+		Down:          []int{4, 4, 4},
+		Up:            []int{1, 2, 2},
+		HostSpeed:     1e9,
+		LinkBandwidth: 125e6,
+		LinkLatency:   10 * core.Microsecond,
+	}
+}
+
+// parseFatTree accepts per-level port lists separated by "x" or "," —
+// "fattree:4x4:1x4" and "fattree:4,4:1,4" are the same tree. The x form
+// exists so shapes survive comma-separated list flags (-topologies).
+func parseFatTree(rest string) (Spec, error) {
+	downs, ups, found := strings.Cut(rest, ":")
+	if !found {
+		return nil, fmt.Errorf("topology: fattree spec %q: want fattree:<down ports>:<up ports>, e.g. fattree:4x4:1x4", rest)
+	}
+	spec := FatTree16()
+	spec.Name = specName("fattree", rest)
+	var err error
+	if spec.Down, err = parseIntList(strings.ReplaceAll(downs, "x", ","), ","); err != nil {
+		return nil, fmt.Errorf("topology: fattree down ports: %w", err)
+	}
+	if spec.Up, err = parseIntList(strings.ReplaceAll(ups, "x", ","), ","); err != nil {
+		return nil, fmt.Errorf("topology: fattree up ports: %w", err)
+	}
+	return spec, spec.Validate()
+}
+
+func init() {
+	platform.RegisterXMLSpec("fattree", decodeFatTreeXML)
+	registerPreset("fattree16", func() Spec { return FatTree16() })
+	registerPreset("fattree64", func() Spec { return FatTree64() })
+}

@@ -1,0 +1,164 @@
+// Package topology generates interconnect topologies as platform.Platform
+// instances: k-ary fat-trees (XGFT), 2D/3D tori, and dragonflies. The
+// paper's evaluation (conf_ipps_ClaussSGSCQ11) runs SMPI only on flat
+// hierarchical clusters; this package opens the platform axis so every
+// experiment can be swept across the interconnect shapes of real HPC
+// machines.
+//
+// Each generator emits per-dimension links and installs a deterministic
+// static router on the platform:
+//
+//   - fat-tree: D-mod-k up/down routing — the upward redundant-parent
+//     choice at each level is a digit of the destination ID, so all traffic
+//     towards one host converges through the same spine switches;
+//   - torus: dimension-order routing — correct each coordinate in dimension
+//     order along the shorter wrap direction (ties go the positive way);
+//   - dragonfly: minimal routing — host up-link, local hop to the source
+//     group's gateway router, one global link, local hop to the destination
+//     router, host down-link.
+//
+// Builders use no randomness: the same spec always yields the same hosts,
+// links, and routes, which keeps campaign sweeps over the topology axis
+// bit-identical at any worker count. Routes are memoized by
+// platform.Platform, so the per-message hot path is a cache hit.
+//
+// Specs implement platform.Spec and register their XML elements, so
+// WriteXML/ReadXML round-trip <fattree>, <torus>, and <dragonfly> alongside
+// <cluster>.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"smpigo/internal/platform"
+)
+
+// Metrics are structural properties of a topology, computed analytically
+// from the spec (no platform build needed).
+type Metrics struct {
+	// Hosts is the number of compute nodes.
+	Hosts int
+	// Links is the number of directed network links the builder emits.
+	Links int
+	// Diameter is the maximum route length between two hosts, in links
+	// traversed (not switch hops).
+	Diameter int
+	// BisectionBandwidth is the aggregate one-way bandwidth in bytes/s
+	// crossing the topology's balanced structural cut: the top-level split
+	// for fat-trees, a cut across the largest dimension for tori, and a
+	// group-balanced cut for dragonflies.
+	BisectionBandwidth float64
+}
+
+// Spec is the topology-side view of platform.Spec with structural metrics.
+type Spec interface {
+	platform.Spec
+	Metrics() Metrics
+}
+
+// Hops returns the number of links a message between the two hosts
+// traverses — the per-topology hop count the structural tests check against
+// Metrics.Diameter.
+func Hops(p *platform.Platform, a, b *platform.Host) int {
+	return len(p.Route(a, b).Links)
+}
+
+// presets maps preset names to spec constructors. Populated at init time by
+// the per-topology files, read-only afterwards.
+var presets = map[string]func() Spec{}
+
+func registerPreset(name string, build func() Spec) {
+	if _, dup := presets[name]; dup {
+		panic(fmt.Sprintf("topology: preset %q registered twice", name))
+	}
+	presets[name] = build
+}
+
+// PresetNames lists the built-in topology presets, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns the named preset spec, or an error naming the known ones.
+func Preset(name string) (Spec, error) {
+	build, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("topology: unknown preset %q (have %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+	return build(), nil
+}
+
+// ParseSpec resolves a topology description string: either a preset name
+// (see PresetNames) or a compact shape grammar —
+//
+//	fattree:<down ports per level>:<up ports per level>   fattree:4x4:1x4
+//	torus:<dims>                                          torus:4x4x4
+//	dragonfly:<groups>x<routers>x<hosts per router>       dragonfly:9x4x2
+//
+// Fat-tree port lists accept "x" or "," as separator; prefer the x form in
+// comma-separated flag lists. Shape strings inherit the corresponding
+// preset's speeds and link parameters.
+func ParseSpec(s string) (Spec, error) {
+	if build, ok := presets[s]; ok {
+		return build(), nil
+	}
+	kind, rest, found := strings.Cut(s, ":")
+	if !found {
+		return nil, fmt.Errorf("topology: unknown spec %q (want a preset — %s — or fattree:..., torus:..., dragonfly:...)",
+			s, strings.Join(PresetNames(), ", "))
+	}
+	switch kind {
+	case "fattree":
+		return parseFatTree(rest)
+	case "torus":
+		return parseTorus(rest)
+	case "dragonfly":
+		return parseDragonfly(rest)
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q in spec %q (want fattree, torus, dragonfly)", kind, s)
+	}
+}
+
+// specName derives a platform name from a shape string: "fattree:4x4:1x4"
+// becomes "fattree-4-4-1-4" so host and link names stay identifier-like.
+func specName(kind, rest string) string {
+	r := strings.NewReplacer(":", "-", ",", "-", "x", "-")
+	return kind + "-" + r.Replace(rest)
+}
+
+func parseIntList(s, sep string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, sep) {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func joinInts(vs []int, sep string) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, sep)
+}
+
+func product(vs []int) int {
+	n := 1
+	for _, v := range vs {
+		n *= v
+	}
+	return n
+}

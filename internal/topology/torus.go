@@ -1,0 +1,206 @@
+package topology
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"smpigo/internal/core"
+	"smpigo/internal/lmm"
+	"smpigo/internal/platform"
+)
+
+// TorusSpec describes a k-ary n-dimensional torus (2D/3D meshes with
+// wrap-around, the interconnect of Blue Gene and Cray XT machines). Hosts
+// sit at the grid points; each host owns one directed link per dimension
+// and direction to its wrap-around neighbors, so a full-duplex cable is a
+// pair of directed links.
+type TorusSpec struct {
+	// Name prefixes host and link names.
+	Name string
+	// Dims are the per-dimension extents, e.g. {4, 4, 4} for a 4x4x4 torus.
+	Dims []int
+	// HostSpeed is the per-host compute speed in flop/s.
+	HostSpeed float64
+	// LinkBandwidth/LinkLatency apply to every neighbor link.
+	LinkBandwidth float64
+	LinkLatency   core.Duration
+}
+
+// Hosts returns the number of hosts (the product of Dims).
+func (s TorusSpec) Hosts() int { return product(s.Dims) }
+
+// Validate implements platform.Spec.
+func (s TorusSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("torus spec: empty name")
+	case len(s.Dims) < 1 || len(s.Dims) > 3:
+		return fmt.Errorf("torus spec %q: %d dimensions, want 1-3", s.Name, len(s.Dims))
+	case s.HostSpeed <= 0:
+		return fmt.Errorf("torus spec %q: non-positive host speed", s.Name)
+	case s.LinkBandwidth <= 0:
+		return fmt.Errorf("torus spec %q: non-positive link bandwidth", s.Name)
+	}
+	for d, k := range s.Dims {
+		if k < 2 {
+			return fmt.Errorf("torus spec %q: dimension %d has extent %d, want >= 2", s.Name, d, k)
+		}
+	}
+	return nil
+}
+
+// coords decomposes a host ID (dimension 0 varies fastest).
+func (s TorusSpec) coords(id int) []int {
+	c := make([]int, len(s.Dims))
+	for d, k := range s.Dims {
+		c[d] = id % k
+		id /= k
+	}
+	return c
+}
+
+func (s TorusSpec) id(c []int) int {
+	id := 0
+	for d := len(s.Dims) - 1; d >= 0; d-- {
+		id = id*s.Dims[d] + c[d]
+	}
+	return id
+}
+
+// Build implements platform.Spec: one host per grid point, a plus- and a
+// minus-direction link per (host, dimension), and the dimension-order
+// router.
+func (s TorusSpec) Build() (*platform.Platform, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := platform.New(s.Name)
+	n := s.Hosts()
+	ndims := len(s.Dims)
+	plus := make([][]*platform.Link, n)
+	minus := make([][]*platform.Link, n)
+	for i := 0; i < n; i++ {
+		p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+		plus[i] = make([]*platform.Link, ndims)
+		minus[i] = make([]*platform.Link, ndims)
+		for d := 0; d < ndims; d++ {
+			plus[i][d] = p.AddLink(fmt.Sprintf("%s-%d-d%d-plus", s.Name, i, d),
+				s.LinkBandwidth, s.LinkLatency, lmm.Shared)
+			minus[i][d] = p.AddLink(fmt.Sprintf("%s-%d-d%d-minus", s.Name, i, d),
+				s.LinkBandwidth, s.LinkLatency, lmm.Shared)
+		}
+	}
+
+	p.SetRouter(func(a, b *platform.Host) platform.Route {
+		cur := s.coords(a.ID)
+		dst := s.coords(b.ID)
+		var links []*platform.Link
+		for d, k := range s.Dims {
+			delta := ((dst[d]-cur[d])%k + k) % k
+			if delta == 0 {
+				continue
+			}
+			// Shorter wrap direction; on a tie (even k, delta == k/2) go
+			// the positive way so routes stay deterministic.
+			if 2*delta <= k {
+				for step := 0; step < delta; step++ {
+					links = append(links, plus[s.id(cur)][d])
+					cur[d] = (cur[d] + 1) % k
+				}
+			} else {
+				for step := 0; step < k-delta; step++ {
+					links = append(links, minus[s.id(cur)][d])
+					cur[d] = (cur[d] - 1 + k) % k
+				}
+			}
+		}
+		r := platform.Route{Links: links}
+		for _, l := range links {
+			r.Latency += l.Latency
+		}
+		return r
+	})
+	return p, nil
+}
+
+// Metrics implements Spec. The bisection cut halves the largest dimension;
+// wrap-around doubles the crossing cables, giving the classic 2*N/k value
+// for a k-ary n-cube.
+func (s TorusSpec) Metrics() Metrics {
+	n := s.Hosts()
+	m := Metrics{Hosts: n, Links: 2 * n * len(s.Dims)}
+	kmax := 0
+	for _, k := range s.Dims {
+		m.Diameter += k / 2
+		if k > kmax {
+			kmax = k
+		}
+	}
+	m.BisectionBandwidth = float64(2*n/kmax) * s.LinkBandwidth
+	return m
+}
+
+// XMLElement implements platform.Spec.
+func (s TorusSpec) XMLElement() (string, []xml.Attr) {
+	return "torus", []xml.Attr{
+		platform.Attr("id", "%s", s.Name),
+		platform.Attr("speed", "%gf", s.HostSpeed),
+		platform.Attr("dims", "%s", joinInts(s.Dims, "x")),
+		platform.Attr("bw", "%gBps", s.LinkBandwidth),
+		platform.Attr("lat", "%gs", float64(s.LinkLatency)),
+	}
+}
+
+func decodeTorusXML(attrs map[string]string) (platform.Spec, error) {
+	var spec TorusSpec
+	var err error
+	fail := func(field string, e error) (platform.Spec, error) {
+		return nil, fmt.Errorf("torus %q: attribute %s: %w", attrs["id"], field, e)
+	}
+	spec.Name = attrs["id"]
+	if spec.HostSpeed, err = core.ParseFlops(attrs["speed"]); err != nil {
+		return fail("speed", err)
+	}
+	if spec.Dims, err = parseIntList(attrs["dims"], "x"); err != nil {
+		return fail("dims", err)
+	}
+	if spec.LinkBandwidth, err = core.ParseRate(attrs["bw"]); err != nil {
+		return fail("bw", err)
+	}
+	if spec.LinkLatency, err = core.ParseDuration(attrs["lat"]); err != nil {
+		return fail("lat", err)
+	}
+	return spec, nil
+}
+
+// Torus64 is a 4x4x4 3D torus, 64 hosts with 6 neighbor cables each.
+func Torus64() TorusSpec {
+	return TorusSpec{
+		Name:          "torus64",
+		Dims:          []int{4, 4, 4},
+		HostSpeed:     1e9,
+		LinkBandwidth: 125e6,
+		LinkLatency:   5 * core.Microsecond,
+	}
+}
+
+func parseTorus(rest string) (Spec, error) {
+	spec := Torus64()
+	spec.Name = specName("torus", rest)
+	var err error
+	if spec.Dims, err = parseIntList(rest, "x"); err != nil {
+		return nil, fmt.Errorf("topology: torus dims: %w", err)
+	}
+	return spec, spec.Validate()
+}
+
+func init() {
+	platform.RegisterXMLSpec("torus", decodeTorusXML)
+	registerPreset("torus16", func() Spec {
+		s := Torus64()
+		s.Name = "torus16"
+		s.Dims = []int{4, 4}
+		return s
+	})
+	registerPreset("torus64", func() Spec { return Torus64() })
+}

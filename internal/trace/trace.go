@@ -155,25 +155,44 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read parses a trace serialized by Write.
+// Read parses a trace serialized by Write. Input is streamed line by line
+// through a bufio.Reader, so traces of any size parse — a recorded DT class
+// C run easily exceeds the 1 MiB cap a fixed Scanner buffer would impose.
 func Read(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
+	br := bufio.NewReaderSize(r, 1<<16)
+	readLine := func() (string, error) {
+		s, err := br.ReadString('\n')
+		if err == io.EOF && s != "" {
+			err = nil // final line without trailing newline
+		}
+		return strings.TrimSuffix(s, "\n"), err
+	}
+	header, err := readLine()
+	if err == io.EOF {
 		return nil, fmt.Errorf("trace: empty input")
 	}
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
 	var procs int
-	if _, err := fmt.Sscanf(sc.Text(), "procs %d", &procs); err != nil {
-		return nil, fmt.Errorf("trace: bad header %q", sc.Text())
+	if _, err := fmt.Sscanf(header, "procs %d", &procs); err != nil {
+		return nil, fmt.Errorf("trace: bad header %q", header)
 	}
 	if procs <= 0 {
 		return nil, fmt.Errorf("trace: invalid proc count %d", procs)
 	}
 	t := New(procs)
 	line := 1
-	for sc.Scan() {
+	for {
+		text, err := readLine()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line+1, err)
+		}
 		line++
-		fields := strings.Fields(sc.Text())
+		fields := strings.Fields(text)
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("trace: line %d: too few fields", line)
 		}
@@ -184,6 +203,9 @@ func Read(r io.Reader) (*Trace, error) {
 		ev := Event{Kind: Kind(fields[1][0])}
 		switch ev.Kind {
 		case Compute:
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: want 3 fields", line)
+			}
 			d, err := strconv.ParseFloat(fields[2], 64)
 			if err != nil {
 				return nil, fmt.Errorf("trace: line %d: %v", line, err)
@@ -203,6 +225,9 @@ func Read(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("trace: line %d: %v", line, err)
 			}
 		case Wait:
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: want 3 fields", line)
+			}
 			if ev.Req, err = strconv.Atoi(fields[2]); err != nil {
 				return nil, fmt.Errorf("trace: line %d: %v", line, err)
 			}
@@ -211,5 +236,4 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 		t.Streams[rank] = append(t.Streams[rank], ev)
 	}
-	return t, sc.Err()
 }

@@ -88,6 +88,44 @@ func TestSerializationRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestLargeTraceRoundTrip is the regression test for the 1 MiB parsing
+// cap: Read used a bufio.Scanner with a fixed maximum buffer, so recorded
+// traces beyond it could fail to parse. The streamed reader must handle a
+// multi-MiB trace (and a final line without a trailing newline) intact.
+func TestLargeTraceRoundTrip(t *testing.T) {
+	const procs = 8
+	tr := New(procs)
+	// ~200k events serialize to well over 2 MiB.
+	for i := 0; i < 100000; i++ {
+		rank := i % procs
+		peer := (rank + 1) % procs
+		req := tr.RecordIsend(rank, peer, i%7, int64(1000000+i))
+		tr.RecordWait(rank, req)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 2<<20 {
+		t.Fatalf("test trace only %d bytes, want > 2 MiB", buf.Len())
+	}
+	serialized := bytes.TrimSuffix(buf.Bytes(), []byte("\n")) // exercise EOF-without-newline too
+	back, err := Read(bytes.NewReader(serialized))
+	if err != nil {
+		t.Fatalf("large trace failed to parse: %v", err)
+	}
+	if back.Events() != tr.Events() {
+		t.Fatalf("events = %d, want %d", back.Events(), tr.Events())
+	}
+	for rank := range tr.Streams {
+		for i, ev := range tr.Streams[rank] {
+			if back.Streams[rank][i] != ev {
+				t.Fatalf("rank %d event %d: %+v != %+v", rank, i, back.Streams[rank][i], ev)
+			}
+		}
+	}
+}
+
 func TestEmptyTraceRoundTrip(t *testing.T) {
 	tr := New(4)
 	var buf bytes.Buffer
