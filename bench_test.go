@@ -205,39 +205,63 @@ func BenchmarkFig18CPUSampling(b *testing.B) {
 }
 
 // BenchmarkCampaignThroughput measures the campaign engine's job throughput
-// on a scenario grid of small scatters (procs x sizes x models), the
-// workload shape of the repository's figure reproductions. It reports
-// jobs/sec and the per-worker scaling headroom; simulated results are
-// bit-identical at any worker count, so the pool size is purely a
-// throughput knob.
+// on scenario grids shaped like the repository's figure reproductions: the
+// original griffon scatter grid, plus the same sweep pushed through a
+// 64-host fat-tree (fattree:8x8:1x8) where the LMM solver — not the actor
+// kernel — dominates wall time (see BENCH_lmm.json). It reports jobs/sec;
+// simulated results are bit-identical at any worker count, so the pool size
+// is purely a throughput knob.
 func BenchmarkCampaignThroughput(b *testing.B) {
-	env := benchEnv(b)
-	spec := experiments.GridSpec{
-		Op:       "scatter",
-		Procs:    []int{2, 4, 8, 16},
-		Sizes:    []int64{16 * core.KiB, 64 * core.KiB, 256 * core.KiB},
-		Models:   []string{"piecewise", "default"},
-		Backends: []string{"surf"},
+	grids := []struct {
+		name string
+		spec experiments.GridSpec
+	}{
+		{
+			name: "griffon",
+			spec: experiments.GridSpec{
+				Op:       "scatter",
+				Procs:    []int{2, 4, 8, 16},
+				Sizes:    []int64{16 * core.KiB, 64 * core.KiB, 256 * core.KiB},
+				Models:   []string{"piecewise", "default"},
+				Backends: []string{"surf"},
+			},
+		},
+		{
+			name: "fattree-8x8-1x8",
+			spec: experiments.GridSpec{
+				Op:         "scatter",
+				Procs:      []int{16, 64},
+				Sizes:      []int64{64 * core.KiB, 256 * core.KiB},
+				Models:     []string{"piecewise"},
+				Backends:   []string{"surf"},
+				Topologies: []string{"fattree:8x8:1x8"},
+			},
+		},
 	}
-	var fingerprint string
-	jobs := 0
-	for i := 0; i < b.N; i++ {
-		sum, err := env.GridCampaign(spec)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := sum.Err(); err != nil {
-			b.Fatal(err)
-		}
-		jobs = sum.Jobs
-		fp := sum.Fingerprint()
-		if fingerprint == "" {
-			fingerprint = fp
-		} else if fp != fingerprint {
-			b.Fatalf("campaign fingerprint drifted: %s vs %s", fp, fingerprint)
-		}
+	for _, g := range grids {
+		b.Run(g.name, func(b *testing.B) {
+			env := benchEnv(b)
+			var fingerprint string
+			jobs := 0
+			for i := 0; i < b.N; i++ {
+				sum, err := env.GridCampaign(g.spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sum.Err(); err != nil {
+					b.Fatal(err)
+				}
+				jobs = sum.Jobs
+				fp := sum.Fingerprint()
+				if fingerprint == "" {
+					fingerprint = fp
+				} else if fp != fingerprint {
+					b.Fatalf("campaign fingerprint drifted: %s vs %s", fp, fingerprint)
+				}
+			}
+			b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
 	}
-	b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // --- ablation benchmarks ---

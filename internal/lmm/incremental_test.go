@@ -1,0 +1,124 @@
+package lmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// churnRecord remembers how a live variable was created so the system can be
+// rebuilt from scratch for equivalence checking.
+type churnRecord struct {
+	v      *Variable
+	weight float64
+	bound  float64
+	route  []int // constraint indices, in attach order
+}
+
+// TestIncrementalMatchesFromScratch drives a randomized add/remove churn
+// over a random constraint graph and asserts, after every incremental
+// Solve, that
+//
+//  1. System.Check() invariants hold,
+//  2. an in-place SolveFull reproduces the incremental allocations
+//     bit-for-bit (the dirty set lost nothing), and
+//  3. a from-scratch system rebuilt with only the surviving variables
+//     solves to bit-identical allocations (long-lived registry state —
+//     swap-removed slots, ordered constraint lists — is canonical).
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		nCons := 3 + rng.Intn(10)
+		type consSpec struct {
+			capacity float64
+			policy   SharingPolicy
+		}
+		specs := make([]consSpec, nCons)
+		s := New()
+		cons := make([]*Constraint, nCons)
+		for i := range cons {
+			specs[i] = consSpec{capacity: float64(rng.Intn(200)) / 2, policy: Shared}
+			if rng.Intn(5) == 0 {
+				specs[i].policy = FatPipe
+			}
+			cons[i] = s.NewConstraint("c", specs[i].capacity, specs[i].policy)
+		}
+
+		var live []churnRecord
+		addVar := func() {
+			weight := []float64{0, 0.5, 1, 2}[rng.Intn(4)]
+			bound := math.Inf(1)
+			if rng.Intn(3) == 0 {
+				bound = float64(rng.Intn(120)) / 4
+			}
+			hops := 1 + rng.Intn(3)
+			route := make([]int, 0, hops)
+			seen := make(map[int]bool)
+			for len(route) < hops {
+				h := rng.Intn(nCons)
+				if !seen[h] {
+					seen[h] = true
+					route = append(route, h)
+				}
+			}
+			v := s.NewVariable("v", weight, bound)
+			for _, h := range route {
+				s.Attach(v, cons[h])
+			}
+			live = append(live, churnRecord{v: v, weight: weight, bound: bound, route: route})
+		}
+
+		for i := 0; i < 12; i++ {
+			addVar()
+		}
+		steps := 60
+		for step := 0; step < steps; step++ {
+			if len(live) > 0 && (len(live) > 25 || rng.Intn(2) == 0) {
+				i := rng.Intn(len(live))
+				s.RemoveVariable(live[i].v)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				addVar()
+			}
+			s.Solve()
+			if err := s.Check(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			if step%7 != 0 {
+				continue
+			}
+			// Bitwise reference 1: from-scratch rebuild of the survivors.
+			ref := New()
+			refCons := make([]*Constraint, nCons)
+			for i, cs := range specs {
+				refCons[i] = ref.NewConstraint("c", cs.capacity, cs.policy)
+			}
+			refVars := make([]*Variable, len(live))
+			for i, rec := range live {
+				refVars[i] = ref.NewVariable("v", rec.weight, rec.bound)
+				for _, h := range rec.route {
+					ref.Attach(refVars[i], refCons[h])
+				}
+			}
+			ref.SolveFull()
+			for i, rec := range live {
+				if rec.v.Value != refVars[i].Value {
+					t.Fatalf("trial %d step %d: incremental value %v != from-scratch %v (var %d)",
+						trial, step, rec.v.Value, refVars[i].Value, i)
+				}
+			}
+			// Bitwise reference 2: in-place full re-solve.
+			got := make([]float64, len(live))
+			for i, rec := range live {
+				got[i] = rec.v.Value
+			}
+			s.SolveFull()
+			for i, rec := range live {
+				if rec.v.Value != got[i] {
+					t.Fatalf("trial %d step %d: SolveFull value %v != incremental %v (var %d)",
+						trial, step, rec.v.Value, got[i], i)
+				}
+			}
+		}
+	}
+}

@@ -13,6 +13,22 @@
 // the flows crossing the link) or FatPipe (each flow is individually capped
 // at the capacity but flows do not contend, which models an idealized
 // backbone or the "no contention" ablation of the paper's Figures 7 and 11).
+//
+// # Selective re-solve
+//
+// Solving is incremental, following SimGrid's "lazy/selective update"
+// design. Mutations (NewVariable, Attach, RemoveVariable, MarkDirty) record
+// the touched constraints and variables in a dirty set; Solve partitions the
+// dirty subgraph into connected components — variables coupled through
+// shared constraints — and re-runs progressive filling only inside those
+// components. Allocations of untouched components are left exactly as the
+// previous Solve computed them.
+//
+// Because every component is always solved in isolation and its members are
+// always processed in creation order, the incremental path is bit-identical
+// to SolveFull (which just marks everything dirty): a sequence of
+// Solve calls after mutations yields the same Values as rebuilding the
+// system from scratch and solving once.
 package lmm
 
 import (
@@ -39,12 +55,28 @@ type Constraint struct {
 	// Name is an optional label used in error messages and debug dumps.
 	Name string
 
+	// id is the creation serial; constraints are never removed, so it is
+	// also the dense index into System.constraints. Component members are
+	// processed in id order, which keeps solves independent of dirty-set
+	// traversal order.
+	id int
+	// vars lists the attached variables in attach order. Removal preserves
+	// the relative order of survivors, so a long-lived system and a fresh
+	// rebuild of its surviving variables share their constraints identically.
 	vars []*Variable
 
-	// scratch used by Solve
+	dirty bool
+	mark  int // epoch stamp used by component collection
+
+	// scratch used by solveComponent
 	remaining     float64
 	unfixedWeight float64
 	active        bool
+	// liveVars is the constraint's active list: the attached variables not
+	// yet fixed by the current component solve, compacted (order-preserving)
+	// as filling rounds progress so late rounds only scan surviving work.
+	// The slice's capacity is retained across solves.
+	liveVars []*Variable
 }
 
 // Variable is an entity receiving a share of the constrained capacities
@@ -60,15 +92,53 @@ type Variable struct {
 	Value float64
 	// Name is an optional label.
 	Name string
+	// Data is an arbitrary caller payload (e.g. the flow or task this
+	// variable represents), giving Resolved() consumers a way back from a
+	// re-solved variable to their own bookkeeping without a side table.
+	Data any
+
+	// id is the creation serial, the canonical ordering key inside a
+	// component (ids are unique and increase monotonically, surviving the
+	// swap-removals of the registry).
+	id int
+	// sysIdx is the variable's current position in System.variables, -1
+	// once removed. It makes the registry half of RemoveVariable O(1).
+	sysIdx int
 
 	cons  []*Constraint
+	dirty bool
+	mark  int
 	fixed bool
 }
 
 // System owns a set of constraints and variables and computes allocations.
 type System struct {
 	constraints []*Constraint
-	variables   []*Variable
+	// variables is an index-based registry: each variable carries its
+	// current slot (sysIdx) and removal swap-fills the hole, so the order
+	// of this slice is not meaningful.
+	variables []*Variable
+
+	nextVarID int
+
+	// Dirty set consumed by the next Solve.
+	dirtyCons []*Constraint
+	dirtyVars []*Variable
+
+	// Component-collection scratch (see solve.go).
+	epoch    int
+	compCons []*Constraint
+	compVars []*Variable
+	stackC   []*Constraint
+	stackV   []*Variable
+
+	// Per-solve active lists (see solveComponent).
+	actCons []*Constraint
+	actVars []*Variable
+
+	// resolved accumulates the variables whose components the last Solve
+	// re-solved (see Resolved).
+	resolved []*Variable
 }
 
 // New returns an empty system.
@@ -79,7 +149,7 @@ func (s *System) NewConstraint(name string, capacity float64, policy SharingPoli
 	if capacity < 0 || math.IsNaN(capacity) {
 		panic(fmt.Sprintf("lmm: invalid capacity %v for constraint %q", capacity, name))
 	}
-	c := &Constraint{Capacity: capacity, Policy: policy, Name: name}
+	c := &Constraint{Capacity: capacity, Policy: policy, Name: name, id: len(s.constraints)}
 	s.constraints = append(s.constraints, c)
 	return c
 }
@@ -90,8 +160,13 @@ func (s *System) NewVariable(name string, weight, bound float64) *Variable {
 	if weight < 0 || math.IsNaN(weight) {
 		panic(fmt.Sprintf("lmm: invalid weight %v for variable %q", weight, name))
 	}
-	v := &Variable{Weight: weight, Bound: bound, Name: name}
+	if bound < 0 || math.IsNaN(bound) {
+		panic(fmt.Sprintf("lmm: invalid bound %v for variable %q", bound, name))
+	}
+	v := &Variable{Weight: weight, Bound: bound, Name: name, id: s.nextVarID, sysIdx: len(s.variables)}
+	s.nextVarID++
 	s.variables = append(s.variables, v)
+	s.MarkVariableDirty(v)
 	return v
 }
 
@@ -105,11 +180,21 @@ func (s *System) Attach(v *Variable, c *Constraint) {
 	}
 	v.cons = append(v.cons, c)
 	c.vars = append(c.vars, v)
+	s.MarkDirty(c)
 }
 
 // RemoveVariable detaches v from every constraint and removes it from the
-// system. Typically called when a flow completes.
+// system, marking the touched constraints dirty so the next Solve reshares
+// their components. Typically called when a flow completes.
+//
+// The registry removal is O(1) (index-based swap); the constraint-side
+// detach is an order-preserving delete per crossed constraint, so the whole
+// operation is O(degree) in attached-list sizes rather than the former
+// O(total variables) scan.
 func (s *System) RemoveVariable(v *Variable) {
+	if v.sysIdx < 0 {
+		return
+	}
 	for _, c := range v.cons {
 		for i, w := range c.vars {
 			if w == v {
@@ -117,167 +202,42 @@ func (s *System) RemoveVariable(v *Variable) {
 				break
 			}
 		}
+		s.MarkDirty(c)
 	}
 	v.cons = nil
-	for i, w := range s.variables {
-		if w == v {
-			s.variables = append(s.variables[:i], s.variables[i+1:]...)
-			break
-		}
+	last := len(s.variables) - 1
+	moved := s.variables[last]
+	s.variables[v.sysIdx] = moved
+	moved.sysIdx = v.sysIdx
+	s.variables[last] = nil
+	s.variables = s.variables[:last]
+	v.sysIdx = -1
+}
+
+// MarkDirty records that c's capacity, policy, or attachments changed, so
+// the next Solve re-solves the component(s) touching it. Mutating an
+// exported Constraint field after creation requires calling MarkDirty;
+// Attach and RemoveVariable call it automatically.
+func (s *System) MarkDirty(c *Constraint) {
+	if !c.dirty {
+		c.dirty = true
+		s.dirtyCons = append(s.dirtyCons, c)
+	}
+}
+
+// MarkVariableDirty records that v's weight or bound changed, so the next
+// Solve re-solves its component. NewVariable calls it automatically.
+func (s *System) MarkVariableDirty(v *Variable) {
+	if !v.dirty {
+		v.dirty = true
+		s.dirtyVars = append(s.dirtyVars, v)
 	}
 }
 
 // Variables returns the live variables (primarily for tests and debugging).
+// The registry order is not meaningful: removals swap-fill holes.
 func (s *System) Variables() []*Variable { return s.variables }
 
-// Solve computes the bounded max-min fair allocation, storing each
-// variable's share in its Value field.
-//
-// Progressive filling: at each round the tightest shared constraint (or
-// variable bound) determines a fair rate r; variables limited by it are
-// fixed, their usage is subtracted, and the process repeats. FatPipe
-// constraints only contribute per-variable caps.
-func (s *System) Solve() {
-	// Reset scratch state.
-	for _, v := range s.variables {
-		v.fixed = false
-		v.Value = 0
-		if v.Weight == 0 {
-			v.fixed = true
-		}
-	}
-	for _, c := range s.constraints {
-		c.remaining = c.Capacity
-		c.active = false
-	}
-
-	// Effective bound of a variable: its own bound plus the tightest
-	// FatPipe cap it crosses.
-	bound := func(v *Variable) float64 {
-		b := v.Bound
-		for _, c := range v.cons {
-			if c.Policy == FatPipe && c.Capacity < b {
-				b = c.Capacity
-			}
-		}
-		return b
-	}
-
-	unfixed := 0
-	for _, v := range s.variables {
-		if !v.fixed {
-			unfixed++
-		}
-	}
-
-	for unfixed > 0 {
-		// Recompute unfixed weight per shared constraint.
-		for _, c := range s.constraints {
-			c.unfixedWeight = 0
-			c.active = false
-			if c.Policy != Shared {
-				continue
-			}
-			for _, v := range c.vars {
-				if !v.fixed {
-					c.unfixedWeight += v.Weight
-				}
-			}
-			if c.unfixedWeight > 0 {
-				c.active = true
-			}
-		}
-
-		// Fair-share rate candidate from constraints.
-		r := math.Inf(1)
-		for _, c := range s.constraints {
-			if c.active {
-				if share := c.remaining / c.unfixedWeight; share < r {
-					r = share
-				}
-			}
-		}
-		// Candidate from variable bounds (rate = bound/weight).
-		for _, v := range s.variables {
-			if v.fixed {
-				continue
-			}
-			if b := bound(v); !math.IsInf(b, 1) {
-				if br := b / v.Weight; br < r {
-					r = br
-				}
-			}
-		}
-
-		if math.IsInf(r, 1) {
-			// No shared constraint and no bound limits the remaining
-			// variables; they are effectively unbounded. Flag loudly
-			// rather than looping forever.
-			panic("lmm: unbounded variables with no active constraint")
-		}
-
-		progressed := false
-		// Fix variables whose bound is reached at rate r.
-		for _, v := range s.variables {
-			if v.fixed {
-				continue
-			}
-			if b := bound(v); !math.IsInf(b, 1) && b <= r*v.Weight*(1+1e-12) {
-				v.Value = b
-				v.fixed = true
-				unfixed--
-				progressed = true
-				for _, c := range v.cons {
-					if c.Policy == Shared {
-						c.remaining -= v.Value
-						if c.remaining < 0 {
-							c.remaining = 0
-						}
-					}
-				}
-			}
-		}
-		// Fix variables on saturated constraints. Weights are recomputed
-		// live because fixes earlier in this round (at bounds, or on other
-		// constraints) change both remaining capacity and unfixed weight;
-		// the progressive-filling invariant guarantees live shares stay
-		// >= r, with equality exactly on saturated constraints.
-		for _, c := range s.constraints {
-			if !c.active {
-				continue
-			}
-			live := 0.0
-			for _, v := range c.vars {
-				if !v.fixed {
-					live += v.Weight
-				}
-			}
-			if live == 0 {
-				continue
-			}
-			share := c.remaining / live
-			if share <= r*(1+1e-12) {
-				for _, v := range c.vars {
-					if v.fixed {
-						continue
-					}
-					v.Value = r * v.Weight
-					v.fixed = true
-					unfixed--
-					progressed = true
-					for _, cc := range v.cons {
-						if cc.Policy == Shared {
-							cc.remaining -= v.Value
-							if cc.remaining < 0 {
-								cc.remaining = 0
-							}
-						}
-					}
-				}
-			}
-		}
-		if !progressed {
-			panic("lmm: solver failed to make progress")
-		}
-	}
-}
+// Constraints returns all constraints in creation order (constraints are
+// never removed).
+func (s *System) Constraints() []*Constraint { return s.constraints }

@@ -226,6 +226,104 @@ func TestInvalidWeightPanics(t *testing.T) {
 	New().NewVariable("bad", -1, 1)
 }
 
+// Regression: NewVariable used to validate the weight but not the bound, so
+// a NaN or negative bound silently corrupted the solve (the effectiveBound
+// comparisons misbehave on NaN).
+func TestInvalidBoundPanics(t *testing.T) {
+	for _, bound := range []float64{-1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for bound %v", bound)
+				}
+			}()
+			New().NewVariable("bad", 1, bound)
+		}()
+	}
+}
+
+func TestCheckPassesAfterSolve(t *testing.T) {
+	s := New()
+	l1 := s.NewConstraint("l1", 100, Shared)
+	l2 := s.NewConstraint("l2", 30, Shared)
+	bb := s.NewConstraint("bb", 80, FatPipe)
+	a := s.NewVariable("a", 1, math.Inf(1))
+	b := s.NewVariable("b", 2, 25)
+	c := s.NewVariable("c", 1, math.Inf(1))
+	s.Attach(a, l1)
+	s.Attach(a, bb)
+	s.Attach(b, l1)
+	s.Attach(b, l2)
+	s.Attach(c, l2)
+	s.Solve()
+	if err := s.Check(); err != nil {
+		t.Fatalf("Check after solve: %v", err)
+	}
+	s.RemoveVariable(b)
+	s.Solve()
+	if err := s.Check(); err != nil {
+		t.Fatalf("Check after removal + incremental solve: %v", err)
+	}
+}
+
+// Regression for the silent clamp: the solver used to floor negative
+// remaining capacity to zero no matter how negative it went, masking
+// over-subscription. Check now surfaces a constraint carrying more than its
+// capacity (here forged by corrupting an allocation after the solve, the
+// only way to over-commit a correct solver).
+func TestCheckDetectsOverCapacity(t *testing.T) {
+	s := New()
+	l := s.NewConstraint("l", 100, Shared)
+	a := s.NewVariable("a", 1, math.Inf(1))
+	b := s.NewVariable("b", 1, math.Inf(1))
+	s.Attach(a, l)
+	s.Attach(b, l)
+	s.Solve()
+	a.Value = 80 // 80 + 50 > 100
+	if err := s.Check(); err == nil {
+		t.Error("Check missed an oversubscribed constraint")
+	}
+}
+
+func TestCheckDetectsUnpinnedVariable(t *testing.T) {
+	s := New()
+	l := s.NewConstraint("l", 100, Shared)
+	a := s.NewVariable("a", 1, math.Inf(1))
+	s.Attach(a, l)
+	s.Solve()
+	a.Value = 10 // below capacity, not at any bound: max-min would grow it
+	if err := s.Check(); err == nil {
+		t.Error("Check missed an unpinned variable")
+	}
+}
+
+// Incremental solving must leave untouched components bit-identical: flows
+// on disjoint links keep the exact float64 allocation of their last solve
+// when another component churns.
+func TestIncrementalLeavesCleanComponentsUntouched(t *testing.T) {
+	s := New()
+	l1 := s.NewConstraint("l1", 90, Shared)
+	l2 := s.NewConstraint("l2", 70, Shared)
+	a := s.NewVariable("a", 1, math.Inf(1))
+	b := s.NewVariable("b", 2, math.Inf(1))
+	s.Attach(a, l1)
+	s.Attach(b, l1)
+	c := s.NewVariable("c", 1, math.Inf(1))
+	s.Attach(c, l2)
+	s.Solve()
+	aBefore, bBefore := a.Value, b.Value
+	// Churn only l2's component.
+	d := s.NewVariable("d", 1, math.Inf(1))
+	s.Attach(d, l2)
+	s.Solve()
+	if a.Value != aBefore || b.Value != bBefore {
+		t.Errorf("clean component drifted: a %v->%v, b %v->%v", aBefore, a.Value, bBefore, b.Value)
+	}
+	if !approx(c.Value, 35) || !approx(d.Value, 35) {
+		t.Errorf("dirty component shares = %v, %v, want 35, 35", c.Value, d.Value)
+	}
+}
+
 // buildRandomSystem constructs a pseudo-random feasible system from raw
 // fuzz inputs, returning the system plus the lists needed for checks.
 func buildRandomSystem(caps []uint8, routes [][]uint8, bounds []uint8) (*System, []*Constraint, []*Variable) {

@@ -1,21 +1,33 @@
 package surf
 
 import (
+	"fmt"
+	"math"
+
 	"smpigo/internal/core"
+	"smpigo/internal/lmm"
 	"smpigo/internal/platform"
 	"smpigo/internal/simix"
 )
 
 // CPU is the compute model: an Execute action drains a number of flops at
-// the host's speed, shared equally among concurrent actions on the same
-// host. In typical SMPI runs each rank is alone on its host, but the
-// sharing matters when oversubscribing ranks onto nodes.
+// the host's speed, shared among concurrent actions on the same host. In
+// typical SMPI runs each rank is alone on its host, but the sharing matters
+// when oversubscribing ranks onto nodes.
+//
+// Sharing runs through the same LMM machinery as the network model: each
+// host is a Shared constraint with capacity equal to its speed, each task a
+// weight-1 variable crossing only that constraint. Per-host components are
+// disjoint, so the incremental solver reshapes only the host whose task set
+// changed — starting or finishing a task on one host never recomputes the
+// rest of the machine.
 type CPU struct {
 	kernel *simix.Kernel
 
 	now   core.Time
 	tasks []*cpuTask
-	count map[*platform.Host]int
+	sys   *lmm.System
+	cons  map[*platform.Host]*lmm.Constraint
 }
 
 type cpuTask struct {
@@ -23,11 +35,25 @@ type cpuTask struct {
 	remaining float64
 	rate      float64
 	future    *simix.Future
+	v         *lmm.Variable
 }
 
 // NewCPU creates a CPU model bound to kernel.
 func NewCPU(kernel *simix.Kernel) *CPU {
-	return &CPU{kernel: kernel, count: make(map[*platform.Host]int)}
+	return &CPU{
+		kernel: kernel,
+		sys:    lmm.New(),
+		cons:   make(map[*platform.Host]*lmm.Constraint),
+	}
+}
+
+func (c *CPU) constraint(h *platform.Host) *lmm.Constraint {
+	con, ok := c.cons[h]
+	if !ok {
+		con = c.sys.NewConstraint(h.Name, h.Speed, lmm.Shared)
+		c.cons[h] = con
+	}
+	return con
 }
 
 // Execute starts draining flops on host and returns a future fulfilled when
@@ -40,8 +66,10 @@ func (c *CPU) Execute(host *platform.Host, flops float64) *simix.Future {
 		return f
 	}
 	t := &cpuTask{host: host, remaining: flops, future: f}
+	t.v = c.sys.NewVariable(host.Name, 1, math.Inf(1))
+	t.v.Data = t
+	c.sys.Attach(t.v, c.constraint(host))
 	c.tasks = append(c.tasks, t)
-	c.count[host]++
 	c.reshare()
 	return f
 }
@@ -50,12 +78,30 @@ func (c *CPU) Execute(host *platform.Host, flops float64) *simix.Future {
 // host's speed. It is how measured CPU-burst durations re-enter the
 // simulation (paper Section 3.1).
 func (c *CPU) Delay(host *platform.Host, d core.Duration) *simix.Future {
+	if d > 0 && host.Speed <= 0 {
+		// Converting through a zero speed would yield 0 flops and silently
+		// drop the burst from simulated time instead of stalling on the
+		// host constraint; fail as loudly as a stalled Execute does.
+		panic(fmt.Sprintf("surf: %v compute delay on host %q with speed %g would be silently lost",
+			d, host.Name, host.Speed))
+	}
 	return c.Execute(host, float64(d)*host.Speed)
 }
 
+// reshare refreshes task rates after the task population changed. Only the
+// components the LMM dirty set touched are re-solved and only their
+// variables walked, so starting or finishing a task on one host costs that
+// host's component, not the machine.
 func (c *CPU) reshare() {
-	for _, t := range c.tasks {
-		t.rate = t.host.Speed / float64(c.count[t.host])
+	c.sys.Solve()
+	for _, v := range c.sys.Resolved() {
+		t := v.Data.(*cpuTask)
+		t.rate = v.Value
+		if t.rate <= 0 {
+			panic(fmt.Sprintf(
+				"surf: compute task with %g flops remaining on host %q allocated rate 0 (host speed %g); it would never complete",
+				t.remaining, t.host.Name, t.host.Speed))
+		}
 	}
 }
 
@@ -87,7 +133,7 @@ func (c *CPU) Advance(to core.Time) {
 	for _, t := range c.tasks {
 		t.remaining -= t.rate * dt
 		if t.remaining <= 1e-9*t.rate {
-			c.count[t.host]--
+			c.sys.RemoveVariable(t.v)
 			c.kernel.Fulfill(t.future, nil)
 			changed = true
 			continue

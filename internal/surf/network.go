@@ -1,6 +1,9 @@
 package surf
 
 import (
+	"fmt"
+	"strings"
+
 	"smpigo/internal/core"
 	"smpigo/internal/lmm"
 	"smpigo/internal/platform"
@@ -101,21 +104,45 @@ func (n *Network) constraint(l *platform.Link) *lmm.Constraint {
 }
 
 // reshare recomputes flow rates after the set of transferring flows changed.
+// Solving is selective: promotions and completions only dirty the LMM
+// components of the links they touch, flows in untouched components keep
+// their rates bit-for-bit, and only the re-solved variables are walked to
+// refresh rates — the reshare cost scales with the churned components, not
+// with the total flow population.
 func (n *Network) reshare() {
 	if !n.Contention {
 		for _, f := range n.flows {
 			if f.started {
 				f.rate = f.bound
+				n.checkStalled(f)
 			}
 		}
 		return
 	}
 	n.sys.Solve()
-	for _, f := range n.flows {
-		if f.started {
-			f.rate = f.v.Value
-		}
+	for _, v := range n.sys.Resolved() {
+		f := v.Data.(*flow)
+		f.rate = v.Value
+		n.checkStalled(f)
 	}
+}
+
+// checkStalled fails loudly when a transferring flow was allocated rate 0:
+// its remaining bytes would never drain, NextEvent would report TimeForever,
+// and the simulation would hang (or deadlock-error with no hint of why).
+// A zero rate can only come from a zero-bandwidth link on the route or a
+// zero rate bound, both platform/model configuration errors.
+func (n *Network) checkStalled(f *flow) {
+	if f.rate > 0 || f.remaining <= 0 {
+		return
+	}
+	names := make([]string, len(f.route.Links))
+	for i, l := range f.route.Links {
+		names[i] = l.Name
+	}
+	panic(fmt.Sprintf(
+		"surf: flow with %g bytes remaining allocated rate 0 and would never complete; route: %s (zero-bandwidth link or zero rate bound %g)",
+		f.remaining, strings.Join(names, " -> "), f.bound))
 }
 
 // NextEvent implements simix.Model.
@@ -159,6 +186,7 @@ func (n *Network) Advance(to core.Time) {
 			}
 			if n.Contention {
 				f.v = n.sys.NewVariable("flow", 1, f.bound)
+				f.v.Data = f
 				for _, l := range f.route.Links {
 					n.sys.Attach(f.v, n.constraint(l))
 				}

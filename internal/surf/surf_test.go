@@ -2,6 +2,7 @@ package surf
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -348,6 +349,71 @@ func TestCPUZeroFlops(t *testing.T) {
 	})
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: a flow routed over a zero-bandwidth link gets rate 0 and
+// would drain forever — NextEvent used to report TimeForever and the
+// simulation hung (or died with an unexplained deadlock). It must instead
+// fail loudly, naming the route.
+func TestZeroBandwidthLinkFailsLoudly(t *testing.T) {
+	for _, contention := range []bool{true, false} {
+		p := platform.New("dead")
+		a := p.AddHost("a", 1e9)
+		b := p.AddHost("b", 1e9)
+		up := p.AddLink("dead-up", 0, 10*core.Microsecond, lmm.Shared)
+		down := p.AddLink("dead-down", 125e6, 10*core.Microsecond, lmm.Shared)
+		p.AddRoute(a, b, []*platform.Link{up, down})
+		k := simix.New()
+		n := NewNetwork(k, Ideal())
+		n.Contention = contention
+		k.AddModel(n)
+		k.Spawn("sender", func(pr *simix.Proc) {
+			f := simix.NewFuture()
+			n.StartFlow(p.Route(a, b), 1<<20, f)
+			pr.Wait(f)
+		})
+		err := k.Run()
+		if err == nil {
+			t.Fatalf("contention=%v: zero-bandwidth transfer did not fail", contention)
+		}
+		if !strings.Contains(err.Error(), "dead-up") {
+			t.Errorf("contention=%v: error does not name the route: %v", contention, err)
+		}
+		if !strings.Contains(err.Error(), "never complete") {
+			t.Errorf("contention=%v: error does not explain the stall: %v", contention, err)
+		}
+	}
+}
+
+// Regression: the same stall exists on the compute side for a zero-speed
+// host (rate 0 on the host constraint); and Delay must not silently convert
+// through the zero speed into 0 flops, vanishing the burst from simulated
+// time.
+func TestZeroSpeedHostFailsLoudly(t *testing.T) {
+	ops := []struct {
+		name string
+		op   func(*CPU, *platform.Host) *simix.Future
+	}{
+		{"execute", func(c *CPU, h *platform.Host) *simix.Future { return c.Execute(h, 1e9) }},
+		{"delay", func(c *CPU, h *platform.Host) *simix.Future { return c.Delay(h, 1.5) }},
+	}
+	for _, op := range ops {
+		p := platform.New("c")
+		h := p.AddHost("powerless", 0)
+		k := simix.New()
+		cpu := NewCPU(k)
+		k.AddModel(cpu)
+		k.Spawn("w", func(pr *simix.Proc) {
+			pr.Wait(op.op(cpu, h))
+		})
+		err := k.Run()
+		if err == nil {
+			t.Fatalf("%s on a zero-speed host did not fail", op.name)
+		}
+		if !strings.Contains(err.Error(), "powerless") {
+			t.Errorf("%s error does not name the host: %v", op.name, err)
+		}
 	}
 }
 
