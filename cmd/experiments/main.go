@@ -11,12 +11,16 @@
 //	experiments campaign -op scatter -procs 4,8,16 -sizes 64KiB,1MiB,4MiB \
 //	    [-models piecewise,bestfit] [-backends surf,openmpi] \
 //	    [-platform griffon] [-topologies griffon,fattree64,torus64] \
+//	    [-placements block,rr,random] [-collectives auto] \
 //	    [-parallel N] [-seed S] [-json]
 //
 // -fig topo compares ring vs tree collectives across interconnect shapes
-// (flat cluster, fat-tree, torus, dragonfly); the campaign -topologies flag
+// (flat cluster, fat-tree, torus, dragonfly); -fig placement sweeps rank
+// placement against deterministic routing. The campaign -topologies flag
 // crosses any sweep with a topology axis (presets or shape strings such as
-// fattree:4x4:1x4, torus:4x4x4, dragonfly:9x4x2).
+// fattree:4x4:1x4, torus:4x4x4, dragonfly:9x4x2), -placements crosses it
+// with a rank-placement axis (block, rr, random), and -collectives selects
+// collective algorithms ("auto" keys them on the topology).
 //
 // Running with -fig all reproduces the whole campaign; EXPERIMENTS.md
 // records paper-vs-measured for each figure.
@@ -50,7 +54,7 @@ func main() {
 
 func runFigures(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,11,12,15,16,17,18, topo (cross-topology collectives), or all")
+	fig := fs.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,11,12,15,16,17,18, topo (cross-topology collectives), placement (placement-vs-routing sweep), or all")
 	fast := fs.Bool("fast", false, "reduce payloads for quicker (shape-preserving) runs")
 	parallel := fs.Int("parallel", 0, "worker-pool size for each figure's simulations (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "campaign seed; per-job seeds derive from it")
@@ -129,6 +133,17 @@ func runFigures(args []string) error {
 			}
 			return r.Table, nil
 		}},
+		{"placement", func() (*experiments.Table, error) {
+			chunk := int64(0) // default payload
+			if *fast {
+				chunk = 64 * core.KiB
+			}
+			r, err := experiments.PlacementSweep(env, chunk)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
 	}
 
 	want := strings.Split(*fig, ",")
@@ -168,13 +183,15 @@ func runFigures(args []string) error {
 
 func runCampaign(args []string) error {
 	fs := flag.NewFlagSet("experiments campaign", flag.ExitOnError)
-	op := fs.String("op", "scatter", "operation to sweep: scatter, alltoall, pingpong")
+	op := fs.String("op", "scatter", "operation to sweep: scatter, alltoall, bcast, allreduce, pingpong")
 	procsArg := fs.String("procs", "16", "comma-separated process counts, e.g. 4,8,16,32")
 	sizesArg := fs.String("sizes", "64KiB,1MiB,4MiB", "comma-separated message sizes, e.g. 64KiB,1MiB")
 	modelsArg := fs.String("models", "piecewise", "comma-separated surf models: piecewise,bestfit,default,ideal")
 	backendsArg := fs.String("backends", "surf", "comma-separated backends: surf,openmpi,mpich2")
 	platformArg := fs.String("platform", "griffon", "target platform: griffon or gdx (ignored when -topologies is set)")
 	topologiesArg := fs.String("topologies", "", "comma-separated topology axis: griffon,gdx, presets (fattree16,fattree64,torus16,torus64,dragonfly72), or shapes (fattree:4x4:1x4 torus:4x4x4 dragonfly:9x4x2)")
+	placementsArg := fs.String("placements", "", "comma-separated rank-placement axis: block,rr,random (empty = default layout)")
+	collectivesArg := fs.String("collectives", "", "collective algorithms for every job: default, auto (topology-keyed), or overrides like bcast=ring,allreduce=auto")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "campaign seed; per-job seeds derive from it")
 	jsonOut := fs.Bool("json", false, "emit the full campaign summary as JSON")
@@ -198,13 +215,15 @@ func runCampaign(args []string) error {
 		return fmt.Errorf("-sizes: %w", err)
 	}
 	spec := experiments.GridSpec{
-		Op:         *op,
-		Procs:      procs,
-		Sizes:      sizes,
-		Models:     splitList(*modelsArg),
-		Backends:   splitList(*backendsArg),
-		Platform:   *platformArg,
-		Topologies: splitList(*topologiesArg),
+		Op:          *op,
+		Procs:       procs,
+		Sizes:       sizes,
+		Models:      splitList(*modelsArg),
+		Backends:    splitList(*backendsArg),
+		Platform:    *platformArg,
+		Topologies:  splitList(*topologiesArg),
+		Placements:  splitList(*placementsArg),
+		Collectives: *collectivesArg,
 	}
 
 	env, err := experiments.NewEnv()

@@ -10,8 +10,13 @@
 //	smpirun -app scatter -np 16 -chunk 4MiB -backend emu
 //	smpirun -app alltoall -np 64 -platform torus64
 //	smpirun -app pingpong -platform fattree:4x4:1x4
+//	smpirun -app alltoall -np 64 -platform fattree64 -placement rr -collectives auto
 //	smpirun -app dt -graph BH -class A
 //	smpirun -app ep -np 4 -ratio 0.25
+//
+// -placement lays ranks out over the platform (block, rr, random — see
+// internal/placement); -collectives selects collective algorithm variants,
+// with "auto" keying them on the platform's interconnect family.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"smpigo/internal/core"
 	"smpigo/internal/experiments"
 	"smpigo/internal/nas"
+	"smpigo/internal/placement"
 	"smpigo/internal/platform"
 	"smpigo/internal/replay"
 	"smpigo/internal/smpi"
@@ -44,11 +50,14 @@ func main() {
 		class     = flag.String("class", "S", "NPB class: S, W, A, B, C")
 		ratio     = flag.Float64("ratio", 1.0, "EP sampling ratio (0,1]")
 		fold      = flag.Bool("fold", false, "DT: use RAM folding (SMPI_SHARED_MALLOC)")
+		placeArg  = flag.String("placement", "", "rank placement policy: block, rr, random (empty = default layout)")
+		collArg   = flag.String("collectives", "", "collective algorithms: default, auto (topology-keyed), or overrides like bcast=ring,allreduce=auto")
+		seed      = flag.Uint64("seed", 0, "deterministic seed (per-rank RNGs, random placement)")
 		traceOut  = flag.String("trace", "", "record a point-to-point trace to this file (off-line simulation input)")
 		replayIn  = flag.String("replay", "", "replay a recorded trace instead of running an app")
 	)
 	flag.Parse()
-	if err := run(*appName, *np, *platName, *backend, *modelName, *noCont, *chunk, *graph, *class, *ratio, *fold, *traceOut, *replayIn); err != nil {
+	if err := run(*appName, *np, *platName, *backend, *modelName, *noCont, *chunk, *graph, *class, *ratio, *fold, *placeArg, *collArg, *seed, *traceOut, *replayIn); err != nil {
 		fmt.Fprintln(os.Stderr, "smpirun:", err)
 		os.Exit(1)
 	}
@@ -102,12 +111,16 @@ func pickModel(name string) (surf.NetModel, error) {
 }
 
 func run(appName string, np int, platName, backend, modelName string, noCont bool,
-	chunkStr, graph, class string, ratio float64, fold bool, traceOut, replayIn string) error {
+	chunkStr, graph, class string, ratio float64, fold bool,
+	placeArg, collArg string, seed uint64, traceOut, replayIn string) error {
 	plat, err := loadPlatform(platName)
 	if err != nil {
 		return err
 	}
-	cfg := smpi.Config{Procs: np, Platform: plat, NoContention: noCont}
+	cfg := smpi.Config{Procs: np, Platform: plat, NoContention: noCont, Seed: seed}
+	if cfg.Algorithms, err = smpi.ParseAlgorithms(collArg); err != nil {
+		return err
+	}
 	switch backend {
 	case "surf":
 		cfg.Backend = smpi.BackendSurf
@@ -187,6 +200,23 @@ func run(appName string, np int, platName, backend, modelName string, noCont boo
 		return fmt.Errorf("unknown app %q", appName)
 	}
 
+	// applyPlacement pins ranks via the -placement policy; procs varies by
+	// path (the app's rank count, or the replayed trace's).
+	applyPlacement := func(procs int) error {
+		if placeArg == "" {
+			return nil
+		}
+		hosts, err := placement.Generate(placeArg, plat, procs, seed)
+		if err != nil {
+			return err
+		}
+		cfg.Hosts = hosts
+		return nil
+	}
+	if collArg != "" {
+		fmt.Printf("collectives        : %s\n", cfg.Algorithms.Resolve(plat.Topo).Summary())
+	}
+
 	if replayIn != "" {
 		f, err := os.Open(replayIn)
 		if err != nil {
@@ -195,6 +225,9 @@ func run(appName string, np int, platName, backend, modelName string, noCont boo
 		tr, err := trace.Read(f)
 		f.Close()
 		if err != nil {
+			return err
+		}
+		if err := applyPlacement(tr.Procs); err != nil {
 			return err
 		}
 		rep, err := replay.Run(tr, cfg)
@@ -206,6 +239,9 @@ func run(appName string, np int, platName, backend, modelName string, noCont boo
 		fmt.Printf("simulated time     : %v\n", rep.SimulatedTime)
 		fmt.Printf("simulation wall    : %v\n", rep.WallTime)
 		return nil
+	}
+	if err := applyPlacement(cfg.Procs); err != nil {
+		return err
 	}
 	var rec *trace.Trace
 	if traceOut != "" {
@@ -232,6 +268,9 @@ func run(appName string, np int, platName, backend, modelName string, noCont boo
 		fmt.Printf("trace written      : %s (%d events)\n", traceOut, rec.Events())
 	}
 	fmt.Printf("application        : %s (np=%d) on %s [%s backend]\n", appName, cfg.Procs, plat.Name, backend)
+	if placeArg != "" {
+		fmt.Printf("placement          : %s (rank 0 on %s)\n", placeArg, cfg.Hosts[0].Name)
+	}
 	fmt.Printf("simulated time     : %v\n", rep.SimulatedTime)
 	fmt.Printf("simulation wall    : %v\n", rep.WallTime)
 	fmt.Printf("messages / bytes   : %d / %s\n", rep.Messages, core.FormatBytes(rep.BytesOnWire))

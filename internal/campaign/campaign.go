@@ -1,23 +1,3 @@
-// Package campaign is a deterministic parallel experiment runner: it
-// executes many independent simulations concurrently over a bounded worker
-// pool and aggregates their results into a single summary.
-//
-// The design mirrors the discipline of SKaMPI-style measurement harnesses
-// sweeping message sizes and process counts (the paper's Section 6
-// methodology): a campaign is a flat list of independent jobs, each fully
-// described by its ID and scenario tags. Determinism is structural rather
-// than accidental:
-//
-//   - every job receives an RNG seeded by core.DeriveSeed(campaign seed,
-//     job ID), so its random stream is a pure function of the campaign seed
-//     and the job's identity — never of worker count or scheduling order;
-//   - results are collected into a slice indexed by submission order, so
-//     aggregation never observes completion order;
-//   - a panicking job is isolated: the panic is captured (with its stack)
-//     as that job's error and the rest of the campaign keeps running.
-//
-// Simulated quantities are therefore bit-identical at any Workers setting;
-// only wall-clock fields vary run to run.
 package campaign
 
 import (

@@ -7,6 +7,7 @@ import (
 	"smpigo/internal/campaign"
 	"smpigo/internal/core"
 	"smpigo/internal/metrics"
+	"smpigo/internal/placement"
 	"smpigo/internal/smpi"
 )
 
@@ -60,6 +61,15 @@ func runScatter(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error)
 	})
 }
 
+// checkFloat64Payload rejects payloads the float64-sum collectives
+// (allreduce) cannot slice into elements; context prefixes the error.
+func checkFloat64Payload(context string, size int64) error {
+	if size%8 != 0 {
+		return fmt.Errorf("%s: payload %d not a multiple of the float64 size", context, size)
+	}
+	return nil
+}
+
 // runAlltoall performs one pairwise all-to-all with chunk bytes per pair.
 func runAlltoall(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error) {
 	return measureCollective(cfg, procs, func(r *smpi.Rank, c *smpi.Comm) {
@@ -74,11 +84,28 @@ func runAlltoall(cfg smpi.Config, procs int, chunk int64) (*collectiveRun, error
 // config, so every scenario point is reproducible in isolation.
 func collectiveJob(id string, cfg smpi.Config, procs int, chunk int64,
 	run func(smpi.Config, int, int64) (*collectiveRun, error)) campaign.Job {
+	return placedCollectiveJob(id, cfg, "", procs, chunk, run)
+}
+
+// placedCollectiveJob is collectiveJob with a rank-placement policy (see
+// package placement; empty means the smpi default layout). The mapping is
+// generated inside the job from its derived seed, so a random placement is
+// a pure function of (campaign seed, job ID) and sweeps stay bit-identical
+// at any worker count.
+func placedCollectiveJob(id string, cfg smpi.Config, policy string, procs int, chunk int64,
+	run func(smpi.Config, int, int64) (*collectiveRun, error)) campaign.Job {
 	return campaign.Job{
 		ID:   id,
 		Tags: map[string]string{"procs": fmt.Sprint(procs), "size": core.FormatBytes(chunk)},
 		Run: func(ctx *campaign.Ctx) (*campaign.Outcome, error) {
 			cfg.Seed = ctx.Seed
+			if policy != "" {
+				hosts, err := placement.Generate(policy, cfg.Platform, procs, ctx.Seed)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Hosts = hosts
+			}
 			out, err := run(cfg, procs, chunk)
 			if err != nil {
 				return nil, err

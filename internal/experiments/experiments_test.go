@@ -462,3 +462,93 @@ func TestFigure18SamplingLinearity(t *testing.T) {
 		}
 	}
 }
+
+// TestGridPlacementAxisDeterministic sweeps the placement axis — including
+// the seed-derived random mapping generated inside worker-pool jobs — and
+// checks the acceptance property: bit-identical fingerprints at any
+// -parallel worker count.
+func TestGridPlacementAxisDeterministic(t *testing.T) {
+	e := env(t)
+	spec := GridSpec{
+		Op:          "allreduce",
+		Procs:       []int{8},
+		Sizes:       []int64{64 * core.KiB},
+		Models:      []string{"piecewise"},
+		Backends:    []string{"surf"},
+		Topologies:  []string{"fattree16", "torus16"},
+		Placements:  []string{"block", "rr", "random"},
+		Collectives: "auto",
+	}
+	fingerprints := make(map[string]int)
+	for _, workers := range []int{1, 8} {
+		withCampaign(e, workers, 11, func() {
+			sum, err := e.GridCampaign(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sum.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if sum.Jobs != 6 {
+				t.Fatalf("grid expanded to %d jobs, want 6", sum.Jobs)
+			}
+			fingerprints[sum.Fingerprint()]++
+		})
+	}
+	if len(fingerprints) != 1 {
+		t.Errorf("placement-axis fingerprints differ across worker counts: %v", fingerprints)
+	}
+	if _, err := e.GridCampaign(GridSpec{
+		Op: "scatter", Procs: []int{4}, Sizes: []int64{1024},
+		Backends: []string{"surf"}, Placements: []string{"zigzag"},
+	}); err == nil {
+		t.Error("unknown placement should fail expansion")
+	}
+	if _, err := e.GridCampaign(GridSpec{
+		Op: "scatter", Procs: []int{4}, Sizes: []int64{1024},
+		Backends: []string{"surf"}, Collectives: "frobnicate=yes",
+	}); err == nil {
+		t.Error("unknown collective override should fail before running")
+	}
+}
+
+// TestPlacementSweep runs the placement-vs-routing experiment and checks
+// its structural claims: deterministic across worker counts, the forced
+// ring allreduce on the oversubscribed fat-tree is strictly slower under
+// round-robin than under block placement (the D-mod-k interaction), and on
+// the torus block and rr tie exactly (vertex transitivity).
+func TestPlacementSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement sweep is slow; run without -short")
+	}
+	e := env(t)
+	var a, b *PlacementSweepResult
+	withCampaign(e, 1, 5, func() {
+		var err error
+		if a, err = PlacementSweep(e, 64*core.KiB); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withCampaign(e, 8, 5, func() {
+		var err error
+		if b, err = PlacementSweep(e, 64*core.KiB); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for k, v := range a.Times {
+		if v <= 0 {
+			t.Errorf("%s: non-positive completion %v", k, v)
+		}
+		if b.Times[k] != v {
+			t.Errorf("%s differs across worker counts: %v vs %v", k, v, b.Times[k])
+		}
+	}
+	block := a.Times["fattree64/allreduce(ring)/block"]
+	rr := a.Times["fattree64/allreduce(ring)/rr"]
+	if !(rr > block) {
+		t.Errorf("ring allreduce on fattree64: rr %v not slower than block %v — placement axis inert against D-mod-k", rr, block)
+	}
+	if tb, trr := a.Times["torus:4x4x4/allreduce(ring)/block"], a.Times["torus:4x4x4/allreduce(ring)/rr"]; tb != trr {
+		t.Errorf("torus ring allreduce: block %v vs rr %v, want an exact tie (vertex transitivity)", tb, trr)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"smpigo/internal/campaign"
 	"smpigo/internal/core"
+	"smpigo/internal/placement"
 	"smpigo/internal/platform"
 	"smpigo/internal/skampi"
 	"smpigo/internal/smpi"
@@ -19,7 +20,8 @@ import (
 // 3 models is 240 independent simulations — exactly the kind of sweep the
 // serial harness could never afford and the campaign pool makes routine.
 type GridSpec struct {
-	// Op is the measured operation: "scatter", "alltoall", or "pingpong".
+	// Op is the measured operation: "scatter", "alltoall", "bcast",
+	// "allreduce", or "pingpong".
 	Op string
 	// Procs are the process counts to sweep (pingpong always uses 2).
 	Procs []int
@@ -40,15 +42,27 @@ type GridSpec struct {
 	// "fattree:4x4:1x4", "torus:4x4x4", "dragonfly:9x4x2". Every scenario
 	// point is then crossed with every topology.
 	Topologies []string
+	// Placements optionally adds a rank-placement axis: "block", "rr", or
+	// "random" (see package placement). The random mapping derives from the
+	// job's campaign seed, so fingerprints stay bit-identical at any
+	// -parallel setting. Empty means the smpi default layout (round-robin
+	// over all hosts, unpinned).
+	Placements []string
+	// Collectives selects collective algorithm variants for every job, in
+	// smpi.ParseAlgorithms grammar: "" or "default" for the package
+	// defaults, "auto" for topology-keyed selection, or per-collective
+	// overrides like "bcast=ring,allreduce=auto".
+	Collectives string
 }
 
 // gridPoint is one scenario coordinate of the expanded grid.
 type gridPoint struct {
-	topo    string // resolved platform name; empty means spec.Platform
-	procs   int
-	size    int64
-	backend string
-	model   string // empty for emulated backends
+	topo      string // resolved platform name; empty means spec.Platform
+	placement string // canonical placement policy; empty means unpinned
+	procs     int
+	size      int64
+	backend   string
+	model     string // empty for emulated backends
 }
 
 func (e *Env) gridModel(name string) (surf.NetModel, error) {
@@ -108,12 +122,31 @@ func (spec GridSpec) expand() ([]gridPoint, error) {
 		return nil, fmt.Errorf("grid: need at least one backend")
 	}
 	procCounts := spec.Procs
-	if strings.ToLower(spec.Op) == "pingpong" {
+	op := strings.ToLower(spec.Op)
+	if op == "pingpong" {
 		procCounts = []int{2}
+	}
+	if op == "allreduce" {
+		for _, size := range spec.Sizes {
+			if err := checkFloat64Payload("grid: allreduce", size); err != nil {
+				return nil, err
+			}
+		}
 	}
 	topos := spec.Topologies
 	if len(topos) == 0 {
 		topos = []string{""}
+	}
+	places := make([]string, 0, len(spec.Placements))
+	for _, pl := range spec.Placements {
+		canonical, err := placement.Normalize(pl)
+		if err != nil {
+			return nil, fmt.Errorf("grid: %w", err)
+		}
+		places = append(places, canonical)
+	}
+	if len(places) == 0 {
+		places = []string{""}
 	}
 	seen := make(map[gridPoint]bool)
 	var points []gridPoint
@@ -124,29 +157,31 @@ func (spec GridSpec) expand() ([]gridPoint, error) {
 		}
 	}
 	for _, topo := range topos {
-		for _, procs := range procCounts {
-			if procs < 2 {
-				return nil, fmt.Errorf("grid: process count %d below 2", procs)
-			}
-			for _, size := range spec.Sizes {
-				if size <= 0 {
-					return nil, fmt.Errorf("grid: non-positive size %d", size)
+		for _, place := range places {
+			for _, procs := range procCounts {
+				if procs < 2 {
+					return nil, fmt.Errorf("grid: process count %d below 2", procs)
 				}
-				for _, backend := range spec.Backends {
-					backend = strings.ToLower(backend)
-					switch backend {
-					case "surf":
-						models := spec.Models
-						if len(models) == 0 {
-							models = []string{"piecewise"}
+				for _, size := range spec.Sizes {
+					if size <= 0 {
+						return nil, fmt.Errorf("grid: non-positive size %d", size)
+					}
+					for _, backend := range spec.Backends {
+						backend = strings.ToLower(backend)
+						switch backend {
+						case "surf":
+							models := spec.Models
+							if len(models) == 0 {
+								models = []string{"piecewise"}
+							}
+							for _, m := range models {
+								add(gridPoint{topo, place, procs, size, backend, strings.ToLower(m)})
+							}
+						case "openmpi", "mpich2":
+							add(gridPoint{topo, place, procs, size, backend, ""})
+						default:
+							return nil, fmt.Errorf("grid: unknown backend %q (want surf, openmpi, mpich2)", backend)
 						}
-						for _, m := range models {
-							add(gridPoint{topo, procs, size, backend, strings.ToLower(m)})
-						}
-					case "openmpi", "mpich2":
-						add(gridPoint{topo, procs, size, backend, ""})
-					default:
-						return nil, fmt.Errorf("grid: unknown backend %q (want surf, openmpi, mpich2)", backend)
 					}
 				}
 			}
@@ -159,6 +194,9 @@ func (pt gridPoint) id(op string) string {
 	id := "grid/" + op
 	if pt.topo != "" {
 		id += "/topo=" + pt.topo
+	}
+	if pt.placement != "" {
+		id += "/place=" + pt.placement
 	}
 	id += fmt.Sprintf("/procs=%d/size=%s/%s", pt.procs, core.FormatBytes(pt.size), pt.backend)
 	if pt.model != "" {
@@ -177,6 +215,9 @@ func (pt gridPoint) tags(op string) map[string]string {
 	if pt.topo != "" {
 		t["topo"] = pt.topo
 	}
+	if pt.placement != "" {
+		t["placement"] = pt.placement
+	}
 	if pt.model != "" {
 		t["model"] = pt.model
 	}
@@ -190,6 +231,10 @@ func (e *Env) GridCampaign(spec GridSpec) (*campaign.Summary, error) {
 	points, err := spec.expand()
 	if err != nil {
 		return nil, err
+	}
+	algos, err := smpi.ParseAlgorithms(spec.Collectives)
+	if err != nil {
+		return nil, fmt.Errorf("grid: %w", err)
 	}
 	op := strings.ToLower(spec.Op)
 	jobs := make([]campaign.Job, 0, len(points))
@@ -206,6 +251,7 @@ func (e *Env) GridCampaign(spec GridSpec) (*campaign.Summary, error) {
 		if err != nil {
 			return nil, err
 		}
+		cfg.Algorithms = algos
 		job, err := gridJob(op, pt, plat, cfg)
 		if err != nil {
 			return nil, err
@@ -233,41 +279,54 @@ func (e *Env) gridConfig(plat *platform.Platform, pt gridPoint) (smpi.Config, er
 }
 
 func gridJob(op string, pt gridPoint, plat *platform.Platform, cfg smpi.Config) (campaign.Job, error) {
-	switch op {
-	case "scatter":
-		j := collectiveJob(pt.id(op), cfg, pt.procs, pt.size, runScatter)
+	runs := map[string]func(smpi.Config, int, int64) (*collectiveRun, error){
+		"scatter":   runScatter,
+		"alltoall":  runAlltoall,
+		"bcast":     runBcast,
+		"allreduce": runAllreduce,
+	}
+	if run, ok := runs[op]; ok {
+		j := placedCollectiveJob(pt.id(op), cfg, pt.placement, pt.procs, pt.size, run)
 		j.Tags = pt.tags(op)
 		return j, nil
-	case "alltoall":
-		j := collectiveJob(pt.id(op), cfg, pt.procs, pt.size, runAlltoall)
-		j.Tags = pt.tags(op)
-		return j, nil
-	case "pingpong":
-		size := pt.size
-		return campaign.Job{
-			ID:   pt.id(op),
-			Tags: pt.tags(op),
-			Run: func(ctx *campaign.Ctx) (*campaign.Outcome, error) {
-				base := cfg
-				base.Seed = ctx.Seed
-				samples, err := skampi.PingPong(skampi.PingPongConfig{
-					Base: base,
-					A:    plat.HostByID(0), B: plat.HostByID(1),
-					Sizes: []int64{size},
-				})
+	}
+	if op != "pingpong" {
+		return campaign.Job{}, fmt.Errorf("grid: unknown op %q (want scatter, alltoall, bcast, allreduce, pingpong)", op)
+	}
+	size := pt.size
+	place := pt.placement
+	return campaign.Job{
+		ID:   pt.id(op),
+		Tags: pt.tags(op),
+		Run: func(ctx *campaign.Ctx) (*campaign.Outcome, error) {
+			base := cfg
+			base.Seed = ctx.Seed
+			// A placed ping-pong runs between the first two ranks of the
+			// mapping (e.g. same leaf under "block", distinct leaves under
+			// "rr") instead of the platform's first two hosts.
+			a, b := plat.HostByID(0), plat.HostByID(1)
+			if place != "" {
+				hosts, err := placement.Generate(place, plat, 2, ctx.Seed)
 				if err != nil {
 					return nil, err
 				}
-				return &campaign.Outcome{
-					SimulatedTime: core.Time(samples[0].Time),
-					Values:        map[string]float64{"oneway_s": samples[0].Time},
-					Payload:       samples,
-				}, nil
-			},
-		}, nil
-	default:
-		return campaign.Job{}, fmt.Errorf("grid: unknown op %q (want scatter, alltoall, pingpong)", op)
-	}
+				a, b = hosts[0], hosts[1]
+			}
+			samples, err := skampi.PingPong(skampi.PingPongConfig{
+				Base: base,
+				A:    a, B: b,
+				Sizes: []int64{size},
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &campaign.Outcome{
+				SimulatedTime: core.Time(samples[0].Time),
+				Values:        map[string]float64{"oneway_s": samples[0].Time},
+				Payload:       samples,
+			}, nil
+		},
+	}, nil
 }
 
 // GridTable renders a grid campaign summary as an aligned table, one row
@@ -275,7 +334,7 @@ func gridJob(op string, pt gridPoint, plat *platform.Platform, cfg smpi.Config) 
 func GridTable(spec GridSpec, sum *campaign.Summary) *Table {
 	t := &Table{
 		Title:  fmt.Sprintf("Campaign: %s grid (%d jobs, %d workers, seed %d)", spec.Op, sum.Jobs, sum.Workers, sum.Seed),
-		Header: []string{"topo", "procs", "size", "backend", "model", "simulated_s", "wall_s"},
+		Header: []string{"topo", "place", "procs", "size", "backend", "model", "simulated_s", "wall_s"},
 	}
 	for i := range sum.Results {
 		r := &sum.Results[i]
@@ -289,12 +348,16 @@ func GridTable(spec GridSpec, sum *campaign.Summary) *Table {
 				topo = "griffon"
 			}
 		}
+		place := r.Tags["placement"]
+		if place == "" {
+			place = "-"
+		}
 		if r.Err != nil {
 			reason := "error"
 			if r.Panicked {
 				reason = "panic"
 			}
-			t.Add(topo, r.Tags["procs"], r.Tags["size"], r.Tags["backend"], model, reason, r.Wall.Seconds())
+			t.Add(topo, place, r.Tags["procs"], r.Tags["size"], r.Tags["backend"], model, reason, r.Wall.Seconds())
 			// Surface the failure reason (first line only: panics carry a
 			// full stack) so broken sweeps are diagnosable without -json.
 			msg := r.Error
@@ -304,7 +367,7 @@ func GridTable(spec GridSpec, sum *campaign.Summary) *Table {
 			t.Note("%s: %s", r.ID, msg)
 			continue
 		}
-		t.Add(topo, r.Tags["procs"], r.Tags["size"], r.Tags["backend"], model,
+		t.Add(topo, place, r.Tags["procs"], r.Tags["size"], r.Tags["backend"], model,
 			float64(r.Outcome.SimulatedTime), r.Wall.Seconds())
 	}
 	t.Note("total simulated %.6gs, max %.6gs, campaign wall %.3gs, %d failed",

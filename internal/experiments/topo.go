@@ -57,8 +57,8 @@ func TopoCollectives(env *Env, chunk int64) (*TopoCollectivesResult, error) {
 	if chunk == 0 {
 		chunk = 256 * core.KiB
 	}
-	if chunk%8 != 0 {
-		return nil, fmt.Errorf("topo collectives: chunk %d not a multiple of the float64 size", chunk)
+	if err := checkFloat64Payload("topo collectives", chunk); err != nil {
+		return nil, err
 	}
 	type point struct {
 		topo, op, algo string

@@ -1,34 +1,3 @@
-// Package lmm implements the Linear Max-Min solver used by the analytical
-// network model, following the bandwidth-sharing approach of SimGrid's SURF
-// kernel (Casanova et al.; validated against packet-level simulation by
-// Velho & Legrand).
-//
-// The solver computes, for a set of variables (network flows) traversing a
-// set of constraints (links with finite capacity), the bounded max-min fair
-// allocation: capacities are filled progressively, every unfixed variable
-// grows at a rate proportional to its weight until either one of its
-// constraints saturates or the variable hits its own rate bound.
-//
-// Constraints can be Shared (the usual case: the capacity is divided among
-// the flows crossing the link) or FatPipe (each flow is individually capped
-// at the capacity but flows do not contend, which models an idealized
-// backbone or the "no contention" ablation of the paper's Figures 7 and 11).
-//
-// # Selective re-solve
-//
-// Solving is incremental, following SimGrid's "lazy/selective update"
-// design. Mutations (NewVariable, Attach, RemoveVariable, MarkDirty) record
-// the touched constraints and variables in a dirty set; Solve partitions the
-// dirty subgraph into connected components — variables coupled through
-// shared constraints — and re-runs progressive filling only inside those
-// components. Allocations of untouched components are left exactly as the
-// previous Solve computed them.
-//
-// Because every component is always solved in isolation and its members are
-// always processed in creation order, the incremental path is bit-identical
-// to SolveFull (which just marks everything dirty): a sequence of
-// Solve calls after mutations yields the same Values as rebuilding the
-// system from scratch and solving once.
 package lmm
 
 import (

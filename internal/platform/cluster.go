@@ -134,6 +134,27 @@ func (s ClusterSpec) Build() (*Platform, error) {
 		}
 		return r
 	})
+	diameter := 3 // up, backplane, down
+	// The balanced cut of a single cabinet crosses its shared backplane;
+	// across cabinets it crosses the smaller half's uplinks, additionally
+	// capped by the backbone in aggregate unless the backbone is a
+	// non-blocking crossbar (FatPipe caps flows individually only).
+	bisection := s.CabinetBackplaneBandwidth
+	if len(s.Cabinets) > 1 {
+		diameter = 7 // up, backplane, cab-up, backbone, cab-down, backplane, down
+		bisection = float64(len(s.Cabinets)/2) * s.UplinkBandwidth
+		if !s.BackboneFatPipe && s.BackboneBandwidth < bisection {
+			bisection = s.BackboneBandwidth
+		}
+	}
+	p.Topo = &TopoInfo{
+		Kind:  "cluster",
+		Hosts: len(nodes),
+		// Node up/down pairs, cabinet up/down pairs and backplanes, backbone.
+		Links:              2*len(nodes) + 3*len(s.Cabinets) + 1,
+		Diameter:           diameter,
+		BisectionBandwidth: bisection,
+	}
 	return p, nil
 }
 

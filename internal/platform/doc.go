@@ -1,0 +1,27 @@
+// Package platform describes simulated target platforms: hosts with a
+// compute speed, network links with bandwidth and latency, and routes
+// between host pairs. It mirrors the role of SimGrid's platform layer that
+// SMPI simulations take as input (paper Section 6).
+//
+// The package also provides a hierarchical cluster builder matching the
+// Grid'5000 machines used in the paper's evaluation — griffon (92 nodes in
+// 3 cabinets behind a 10 Gbps second-level switch) and gdx (312 nodes, two
+// cabinets per switch, 1 Gbps links throughout) — and an XML serialization
+// of cluster descriptions in the spirit of SimGrid's DTD. The XML spec
+// registry is open: package topology registers <fattree>, <torus>, and
+// <dragonfly> elements alongside <cluster>, so ReadXML/WriteXML round-trip
+// every builder's spec.
+//
+// Routing is pluggable. Hand-built platforms install explicit pair routes
+// with AddRoute; the cluster builder and the topology generators install a
+// routing function via SetRouter. Route results are memoized per ordered
+// host pair, which keeps the per-message hot path an allocation-free cache
+// hit even for computed graph routes.
+//
+// Builders that know their interconnect's structure annotate the result:
+// Platform.Topo records the family and structural metrics (consumed by the
+// smpi layer's "auto" collective selection), and Host.Cabinet records the
+// lowest-level switch group (consumed by package placement's round-robin
+// mapper). Both are optional — a nil Topo and Cabinet == -1 simply mean
+// "structure unknown" and every consumer falls back to a flat view.
+package platform

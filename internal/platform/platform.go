@@ -1,13 +1,3 @@
-// Package platform describes simulated target platforms: hosts with a
-// compute speed, network links with bandwidth and latency, and routes
-// between host pairs. It mirrors the role of SimGrid's platform layer that
-// SMPI simulations take as input (paper Section 6).
-//
-// The package also provides a hierarchical cluster builder matching the
-// Grid'5000 machines used in the paper's evaluation — griffon (92 nodes in
-// 3 cabinets behind a 10 Gbps second-level switch) and gdx (312 nodes, two
-// cabinets per switch, 1 Gbps links throughout) — and an XML serialization
-// of cluster descriptions in the spirit of SimGrid's DTD.
 package platform
 
 import (
@@ -27,8 +17,11 @@ type Host struct {
 	// Speed is the compute speed in flop/s, used to convert flop amounts
 	// into delays and to scale timings between host and target nodes.
 	Speed float64
-	// Cabinet is the index of the cabinet (switch group) holding the node,
-	// -1 when the platform is not cabinet-structured.
+	// Cabinet is the index of the lowest-level switch group holding the
+	// node — the cabinet of a hierarchical cluster, the leaf switch of a
+	// fat-tree, the dimension-0 ring of a torus, the router of a dragonfly —
+	// or -1 when the platform has no group structure. Placement mappers use
+	// it to lay ranks out within or across groups.
 	Cabinet int
 }
 
@@ -45,6 +38,27 @@ type Link struct {
 	// Policy selects contention behaviour: Shared links divide Bandwidth
 	// among crossing flows; FatPipe links cap each flow individually.
 	Policy lmm.SharingPolicy
+}
+
+// TopoInfo describes the structural family and metrics of a built platform.
+// Builders that know their interconnect shape (the cluster builder here, the
+// generators in package topology) attach one to Platform.Topo; hand-built
+// platforms leave it nil. Consumers use it for policy decisions that depend
+// on the interconnect — the smpi layer keys its "auto" collective-algorithm
+// selection on Kind, and the placement mappers read the lowest-level group
+// structure off Host.Cabinet, which every TopoInfo-setting builder fills.
+type TopoInfo struct {
+	// Kind is the interconnect family: "cluster", "fattree", "torus", or
+	// "dragonfly".
+	Kind string
+	// Hosts and Links count the platform's compute nodes and directed links.
+	Hosts, Links int
+	// Diameter is the maximum route length between two hosts in links
+	// traversed (0 when the builder does not compute it).
+	Diameter int
+	// BisectionBandwidth is the aggregate one-way bandwidth in bytes/s
+	// crossing the balanced structural cut (0 when not computed).
+	BisectionBandwidth float64
 }
 
 // Route is an ordered list of links connecting two hosts, with the
@@ -71,7 +85,10 @@ func (r Route) Bottleneck() float64 {
 
 // Platform is a set of hosts, links, and a routing function.
 type Platform struct {
-	Name  string
+	Name string
+	// Topo describes the interconnect family and structural metrics when the
+	// builder knows them; nil for hand-built platforms.
+	Topo  *TopoInfo
 	hosts []*Host
 	links []*Link
 

@@ -9,7 +9,10 @@ import (
 // MPICH2/OpenMPI (paper Section 5.3), no variant is universally best; SMPI
 // originally shipped one per operation and planned multiple — this
 // reproduction provides the main alternatives so the choice can be studied
-// (see the ablation benchmarks).
+// (see the ablation benchmarks). Besides the concrete variants listed per
+// field, every field accepts "auto" (AlgoAuto), which picks the variant
+// from the target platform's interconnect family at Run time — ring
+// schedules on tori, trees on fat-trees/dragonflies/clusters; see Resolve.
 type Algorithms struct {
 	// Bcast: "binomial" (default), "ring" (store-and-forward chain, the
 	// neighbor-friendly schedule on ring-like topologies), or "flat".
@@ -35,20 +38,37 @@ type Algorithms struct {
 	Barrier string
 }
 
+// DefaultAlgorithms returns the per-collective package defaults — the
+// variants listed first on each Algorithms field. Empty fields fill from it
+// at Run time, and the "auto" selection (Resolve) starts from it.
+func DefaultAlgorithms() Algorithms {
+	return Algorithms{
+		Bcast:     "binomial",
+		Scatter:   "binomial",
+		Gather:    "binomial",
+		Allgather: "ring",
+		Alltoall:  "pairwise",
+		Reduce:    "binomial",
+		Allreduce: "recursive-doubling",
+		Barrier:   "dissemination",
+	}
+}
+
 func (a *Algorithms) fillDefaults() {
 	def := func(s *string, v string) {
 		if *s == "" {
 			*s = v
 		}
 	}
-	def(&a.Bcast, "binomial")
-	def(&a.Scatter, "binomial")
-	def(&a.Gather, "binomial")
-	def(&a.Allgather, "ring")
-	def(&a.Alltoall, "pairwise")
-	def(&a.Reduce, "binomial")
-	def(&a.Allreduce, "recursive-doubling")
-	def(&a.Barrier, "dissemination")
+	d := DefaultAlgorithms()
+	def(&a.Bcast, d.Bcast)
+	def(&a.Scatter, d.Scatter)
+	def(&a.Gather, d.Gather)
+	def(&a.Allgather, d.Allgather)
+	def(&a.Alltoall, d.Alltoall)
+	def(&a.Reduce, d.Reduce)
+	def(&a.Allreduce, d.Allreduce)
+	def(&a.Barrier, d.Barrier)
 }
 
 // Reserved internal tags. Collectives on the same communicator execute in

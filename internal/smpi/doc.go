@@ -1,0 +1,37 @@
+// Package smpi is the paper's primary contribution: an on-line simulator
+// for MPI applications. Applications are ordinary Go functions written
+// against an MPI-flavoured API (point-to-point operations, collectives,
+// communicators, datatypes, reduction operators); their code genuinely
+// executes — computing real data, paper Section 1's definition of on-line
+// simulation — while every communication and compute burst is timed by a
+// simulation backend:
+//
+//   - BackendSurf: the analytical SimGrid-style backend (package surf) with
+//     flow-level contention and the piece-wise linear point-to-point model;
+//   - BackendEmu: the packet-level testbed emulator (package emu), which
+//     plays the role of the real clusters/MPI implementations the paper
+//     validates against.
+//
+// All ranks of a simulated job run inside one OS process, one goroutine
+// per rank, scheduled sequentially by the simix kernel — the single-node
+// execution property of the paper's Section 3 — with CPU-burst sampling
+// and RAM folding available through the Rank sampling API.
+//
+// # Rank placement
+//
+// By default ranks are laid out round-robin over the platform's hosts;
+// Config.Hosts pins rank i to Hosts[i] instead. Mappings are typically
+// produced by package placement (block, round-robin-across-groups, seeded
+// random) and validated here against the platform: a missing, nil, or
+// foreign host fails Run with an error naming the offending rank.
+//
+// # Collective algorithm selection
+//
+// Each collective has several implementation variants (Algorithms), chosen
+// per operation. A field set to "auto" (AlgoAuto) is resolved at Run time
+// against the platform's interconnect family (platform.TopoInfo, attached
+// by the topology generators and the cluster builder): ring schedules on
+// tori, trees on fat-trees/dragonflies/clusters — see Algorithms.Resolve
+// for the full table. Concrete fields are never touched, so "auto" and
+// forced variants mix freely per collective.
+package smpi

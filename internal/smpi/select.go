@@ -1,0 +1,143 @@
+package smpi
+
+import (
+	"fmt"
+	"strings"
+
+	"smpigo/internal/platform"
+)
+
+// AlgoAuto is the sentinel algorithm name that selects a collective's
+// implementation from the target platform's interconnect (platform.TopoInfo)
+// at Run time. Any Algorithms field may be set to it individually — fields
+// holding a concrete algorithm name are never touched, which is the
+// per-collective override hook: Algorithms{Bcast: "auto", Allreduce: "ring"}
+// auto-selects the broadcast but forces the ring allreduce everywhere.
+const AlgoAuto = "auto"
+
+// Auto returns an Algorithms with every collective set to AlgoAuto.
+func Auto() Algorithms {
+	return Algorithms{
+		Bcast:     AlgoAuto,
+		Scatter:   AlgoAuto,
+		Gather:    AlgoAuto,
+		Allgather: AlgoAuto,
+		Alltoall:  AlgoAuto,
+		Reduce:    AlgoAuto,
+		Allreduce: AlgoAuto,
+		Barrier:   AlgoAuto,
+	}
+}
+
+// Resolve replaces every AlgoAuto field with the algorithm selected for the
+// given interconnect, leaving concrete (and empty) fields untouched. The
+// selection keys on the structural family recorded by the platform builders
+// (topology generators, the cluster builder):
+//
+//   - torus: ring broadcast and ring allreduce. A ring schedule only talks
+//     to rank neighbors, which dimension-order routing maps onto single
+//     neighbor cables, while binomial trees and recursive doubling jump
+//     half the machine per step and pay the torus diameter on every hop.
+//   - fattree, dragonfly, cluster: binomial-tree broadcast and
+//     recursive-doubling allreduce. Tree schedules finish in log2(P) steps,
+//     and the spine/backbone/global links that make far hops expensive on a
+//     torus are exactly what these topologies provision (D-mod-k fat-trees
+//     and dragonfly global cables are built for cross-machine traffic), so
+//     the step count dominates.
+//   - nil/unknown interconnects fall back to the package defaults, which
+//     equal the fat-tree selection.
+//
+// The remaining collectives resolve to their defaults on every family: the
+// pairwise alltoall, binomial scatter/gather/reduce, ring allgather, and
+// dissemination barrier are family-neutral in this model (allgather's
+// default already is the neighbor-friendly ring).
+func (a Algorithms) Resolve(topo *platform.TopoInfo) Algorithms {
+	resolved := DefaultAlgorithms()
+	if topo != nil && topo.Kind == "torus" {
+		resolved.Bcast = "ring"
+		resolved.Allreduce = "ring"
+	}
+	pick := func(field *string, sel string) {
+		if *field == AlgoAuto {
+			*field = sel
+		}
+	}
+	pick(&a.Bcast, resolved.Bcast)
+	pick(&a.Scatter, resolved.Scatter)
+	pick(&a.Gather, resolved.Gather)
+	pick(&a.Allgather, resolved.Allgather)
+	pick(&a.Alltoall, resolved.Alltoall)
+	pick(&a.Reduce, resolved.Reduce)
+	pick(&a.Allreduce, resolved.Allreduce)
+	pick(&a.Barrier, resolved.Barrier)
+	return a
+}
+
+// ParseAlgorithms parses the -collectives flag grammar shared by smpirun
+// and the campaign subcommand:
+//
+//	""            package defaults per collective
+//	"default"     same as ""
+//	"auto"        every collective selected from the platform (Auto)
+//	"<op>=<algo>[,<op>=<algo>...]"   per-collective overrides, e.g.
+//	    "bcast=ring,allreduce=auto" — unnamed collectives keep defaults
+//
+// Ops are the lower-case Algorithms field names (bcast, scatter, gather,
+// allgather, alltoall, reduce, allreduce, barrier); algorithm names are
+// validated at Run time by the collective implementations, except that
+// "auto" is resolved against the platform first.
+func ParseAlgorithms(s string) (Algorithms, error) {
+	var a Algorithms
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "default":
+		return a, nil
+	case AlgoAuto:
+		return Auto(), nil
+	}
+	fields := map[string]*string{
+		"bcast":     &a.Bcast,
+		"scatter":   &a.Scatter,
+		"gather":    &a.Gather,
+		"allgather": &a.Allgather,
+		"alltoall":  &a.Alltoall,
+		"reduce":    &a.Reduce,
+		"allreduce": &a.Allreduce,
+		"barrier":   &a.Barrier,
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, algo, found := strings.Cut(part, "=")
+		if !found || algo == "" {
+			return Algorithms{}, fmt.Errorf("smpi: collectives entry %q: want <op>=<algo>, \"auto\", or \"default\"", part)
+		}
+		field, ok := fields[strings.ToLower(strings.TrimSpace(op))]
+		if !ok {
+			return Algorithms{}, fmt.Errorf("smpi: unknown collective %q in %q (want bcast, scatter, gather, allgather, alltoall, reduce, allreduce, barrier)", op, s)
+		}
+		*field = strings.TrimSpace(algo)
+	}
+	return a, nil
+}
+
+// Summary renders the non-empty fields as "op=algo" pairs in a fixed order,
+// for experiment notes and smpirun output.
+func (a Algorithms) Summary() string {
+	var parts []string
+	add := func(op, algo string) {
+		if algo != "" {
+			parts = append(parts, op+"="+algo)
+		}
+	}
+	add("bcast", a.Bcast)
+	add("scatter", a.Scatter)
+	add("gather", a.Gather)
+	add("allgather", a.Allgather)
+	add("alltoall", a.Alltoall)
+	add("reduce", a.Reduce)
+	add("allreduce", a.Allreduce)
+	add("barrier", a.Barrier)
+	return strings.Join(parts, " ")
+}

@@ -1,21 +1,3 @@
-// Package smpi is the paper's primary contribution: an on-line simulator
-// for MPI applications. Applications are ordinary Go functions written
-// against an MPI-flavoured API (point-to-point operations, collectives,
-// communicators, datatypes, reduction operators); their code genuinely
-// executes — computing real data, paper Section 1's definition of on-line
-// simulation — while every communication and compute burst is timed by a
-// simulation backend:
-//
-//   - BackendSurf: the analytical SimGrid-style backend (package surf) with
-//     flow-level contention and the piece-wise linear point-to-point model;
-//   - BackendEmu: the packet-level testbed emulator (package emu), which
-//     plays the role of the real clusters/MPI implementations the paper
-//     validates against.
-//
-// All ranks of a simulated job run inside one OS process, one goroutine
-// per rank, scheduled sequentially by the simix kernel — the single-node
-// execution property of the paper's Section 3 — with CPU-burst sampling
-// and RAM folding available through the Rank sampling API.
 package smpi
 
 import (
@@ -102,6 +84,9 @@ func (cfg *Config) fillDefaults() error {
 	if cfg.SpeedFactor == 0 {
 		cfg.SpeedFactor = 1
 	}
+	// Resolve "auto" collective algorithms against the platform's
+	// interconnect before filling the family-independent defaults.
+	cfg.Algorithms = cfg.Algorithms.Resolve(cfg.Platform.Topo)
 	cfg.Algorithms.fillDefaults()
 	return nil
 }
@@ -192,8 +177,8 @@ func Run(cfg Config, app func(*Rank)) (*Report, error) {
 		for i := range hosts {
 			hosts[i] = all[i%len(all)]
 		}
-	} else if len(hosts) < cfg.Procs {
-		return nil, fmt.Errorf("smpi: %d hosts for %d ranks", len(hosts), cfg.Procs)
+	} else if err := validateHosts(hosts, cfg.Procs, cfg.Platform); err != nil {
+		return nil, err
 	}
 
 	group := make([]int, cfg.Procs)
@@ -231,6 +216,33 @@ func Run(cfg Config, app func(*Rank)) (*Report, error) {
 		BurstsExecuted: w.reg.Executed(),
 		BurstsReplayed: w.reg.Replayed(),
 	}, nil
+}
+
+// validateHosts checks an explicit Config.Hosts pinning against the
+// platform: one host per rank, every entry a live host of this platform.
+// Each failure mode names the offending rank, so a placement bug surfaces
+// as a diagnosable error instead of an index panic or a rank silently
+// landing on a same-named host of a different platform instance.
+func validateHosts(hosts []*platform.Host, procs int, plat *platform.Platform) error {
+	if len(hosts) != procs {
+		missing := len(hosts) // first rank without a host when too short
+		if len(hosts) > procs {
+			return fmt.Errorf("smpi: Config.Hosts pins %d ranks but Procs is %d (hosts[%d:] are unused; truncate the placement or raise Procs)",
+				len(hosts), procs, procs)
+		}
+		return fmt.Errorf("smpi: Config.Hosts pins only %d ranks but Procs is %d (rank %d has no host)",
+			len(hosts), procs, missing)
+	}
+	for i, h := range hosts {
+		if h == nil {
+			return fmt.Errorf("smpi: Config.Hosts[%d] is nil: rank %d has no host", i, i)
+		}
+		if plat.Host(h.Name) != h {
+			return fmt.Errorf("smpi: rank %d pinned to host %q which is not a host of platform %q",
+				i, h.Name, plat.Name)
+		}
+	}
+	return nil
 }
 
 func (w *World) nextCommID() int {

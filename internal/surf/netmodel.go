@@ -1,13 +1,3 @@
-// Package surf implements the analytical resource models of the simulation
-// kernel, mirroring SimGrid's SURF layer (paper Sections 4 and 5.1):
-//
-//   - a flow-level network model where concurrent transfers share link
-//     bandwidth max-min fairly (the validated SimGrid contention model), and
-//     where per-flow latency and rate bounds come from a piece-wise linear
-//     point-to-point model (the paper's Section 4.1 contribution);
-//   - a CPU model where compute actions share host speed.
-//
-// Both models plug into the simix kernel through its Model interface.
 package surf
 
 import (

@@ -84,7 +84,10 @@ func (s DragonflySpec) Build() (*platform.Platform, error) {
 	hostUp := make([]*platform.Link, n)
 	hostDown := make([]*platform.Link, n)
 	for i := 0; i < n; i++ {
-		p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+		host := p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+		// The router is the lowest-level group: its hosts reach each other
+		// in two links; placement mappers lay ranks out by it.
+		host.Cabinet = i / ph
 		hostUp[i] = p.AddLink(fmt.Sprintf("%s-%d-up", s.Name, i),
 			s.HostLinkBandwidth, s.HostLinkLatency, lmm.Shared)
 		hostDown[i] = p.AddLink(fmt.Sprintf("%s-%d-down", s.Name, i),
@@ -149,6 +152,7 @@ func (s DragonflySpec) Build() (*platform.Platform, error) {
 		}
 		return r
 	})
+	p.Topo = topoInfo("dragonfly", s.Metrics())
 	return p, nil
 }
 

@@ -91,7 +91,10 @@ func (s FatTreeSpec) Build() (*platform.Platform, error) {
 	prodDown, prodUp := s.products()
 	n := prodDown[h]
 	for i := 0; i < n; i++ {
-		p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+		host := p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+		// The leaf switch is the lowest-level group: placement mappers use
+		// it to pack ranks under (or spread them across) leaf switches.
+		host.Cabinet = i / s.Down[0]
 	}
 
 	// up[l][child][j] / down[l][child][j]: the directed links between the
@@ -146,6 +149,7 @@ func (s FatTreeSpec) Build() (*platform.Platform, error) {
 		}
 		return r
 	})
+	p.Topo = topoInfo("fattree", s.Metrics())
 	return p, nil
 }
 

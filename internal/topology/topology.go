@@ -1,30 +1,3 @@
-// Package topology generates interconnect topologies as platform.Platform
-// instances: k-ary fat-trees (XGFT), 2D/3D tori, and dragonflies. The
-// paper's evaluation (conf_ipps_ClaussSGSCQ11) runs SMPI only on flat
-// hierarchical clusters; this package opens the platform axis so every
-// experiment can be swept across the interconnect shapes of real HPC
-// machines.
-//
-// Each generator emits per-dimension links and installs a deterministic
-// static router on the platform:
-//
-//   - fat-tree: D-mod-k up/down routing — the upward redundant-parent
-//     choice at each level is a digit of the destination ID, so all traffic
-//     towards one host converges through the same spine switches;
-//   - torus: dimension-order routing — correct each coordinate in dimension
-//     order along the shorter wrap direction (ties go the positive way);
-//   - dragonfly: minimal routing — host up-link, local hop to the source
-//     group's gateway router, one global link, local hop to the destination
-//     router, host down-link.
-//
-// Builders use no randomness: the same spec always yields the same hosts,
-// links, and routes, which keeps campaign sweeps over the topology axis
-// bit-identical at any worker count. Routes are memoized by
-// platform.Platform, so the per-message hot path is a cache hit.
-//
-// Specs implement platform.Spec and register their XML elements, so
-// WriteXML/ReadXML round-trip <fattree>, <torus>, and <dragonfly> alongside
-// <cluster>.
 package topology
 
 import (
@@ -57,6 +30,19 @@ type Metrics struct {
 type Spec interface {
 	platform.Spec
 	Metrics() Metrics
+}
+
+// topoInfo converts a spec's structural metrics into the platform-level
+// annotation that collective auto-selection (smpi) and rank placement
+// (package placement) key on. Builders attach it to Platform.Topo.
+func topoInfo(kind string, m Metrics) *platform.TopoInfo {
+	return &platform.TopoInfo{
+		Kind:               kind,
+		Hosts:              m.Hosts,
+		Links:              m.Links,
+		Diameter:           m.Diameter,
+		BisectionBandwidth: m.BisectionBandwidth,
+	}
 }
 
 // Hops returns the number of links a message between the two hosts

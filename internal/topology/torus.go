@@ -80,7 +80,10 @@ func (s TorusSpec) Build() (*platform.Platform, error) {
 	plus := make([][]*platform.Link, n)
 	minus := make([][]*platform.Link, n)
 	for i := 0; i < n; i++ {
-		p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+		host := p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+		// The dimension-0 ring is the lowest-level group (neighbors there
+		// are one cable apart); placement mappers lay ranks out by it.
+		host.Cabinet = i / s.Dims[0]
 		plus[i] = make([]*platform.Link, ndims)
 		minus[i] = make([]*platform.Link, ndims)
 		for d := 0; d < ndims; d++ {
@@ -120,6 +123,7 @@ func (s TorusSpec) Build() (*platform.Platform, error) {
 		}
 		return r
 	})
+	p.Topo = topoInfo("torus", s.Metrics())
 	return p, nil
 }
 
