@@ -1,0 +1,265 @@
+// Command benchgate is the CI benchmark-regression gate: it runs the
+// repository's gated benchmarks (the incremental-solver and event-path
+// suites), parses the `go test -bench` output, and fails — non-zero exit,
+// one line per offender — when any ns/op regresses beyond the tolerance
+// recorded next to its committed baseline.
+//
+// Baselines live in the BENCH_*.json artifacts under a machine-readable
+// "gate" object:
+//
+//	"gate": {
+//	  "package":       "./internal/lmm",
+//	  "bench":         "BenchmarkLMMIncremental",
+//	  "benchtime":     "1000x",
+//	  "tolerance_pct": 35,
+//	  "ns_per_op":     {"neighbor1024/incremental": 347.7, ...}
+//	}
+//
+// Iteration counts are pinned via the gate's benchtime (so a run always
+// measures the same amount of work) and every benchmark runs -count times
+// with the minimum taken, which filters scheduler noise; CI additionally
+// pins GOMAXPROCS. After an intentional performance change, refresh the
+// committed numbers with `go run ./cmd/benchgate -update` and review the
+// BENCH_*.json diff (README "Benchmark gate" section).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gate is the machine-readable section of a BENCH_*.json artifact.
+type gate struct {
+	Package      string             `json:"package"`
+	Bench        string             `json:"bench"`
+	Benchtime    string             `json:"benchtime"`
+	TolerancePct float64            `json:"tolerance_pct"`
+	NsPerOp      map[string]float64 `json:"ns_per_op"`
+}
+
+func main() {
+	var (
+		update = flag.Bool("update", false, "rewrite the baseline ns_per_op maps with freshly measured values instead of gating")
+		count  = flag.Int("count", 3, "benchmark repetitions; the minimum ns/op of the runs is compared")
+	)
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		files = []string{"BENCH_lmm.json", "BENCH_event.json"}
+	}
+	failed := false
+	for _, file := range files {
+		if err := runGate(file, *count, *update); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", file, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runGate(file string, count int, update bool) error {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Gate *gate `json:"gate"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("parsing: %w", err)
+	}
+	g := doc.Gate
+	if g == nil {
+		return fmt.Errorf("no \"gate\" object (add one or drop the file from the gate)")
+	}
+	if g.Package == "" || g.Bench == "" || len(g.NsPerOp) == 0 {
+		return fmt.Errorf("gate object incomplete: need package, bench, and ns_per_op")
+	}
+	measured, err := runBench(g, count)
+	if err != nil {
+		return err
+	}
+	// A measured sub-benchmark with no baseline is not gated; say so loudly
+	// in both modes, or a newly added case would silently never be covered.
+	warnUngated(g, measured, update)
+	if update {
+		return rewriteBaselines(file, raw, measured)
+	}
+
+	names := make([]string, 0, len(g.NsPerOp))
+	for name := range g.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		base := g.NsPerOp[name]
+		got, ok := measured[name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s/%s: baseline present but benchmark produced no result", g.Bench, name))
+			continue
+		}
+		limit := base * (1 + g.TolerancePct/100)
+		verdict := "ok"
+		if got > limit {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s/%s: %.4g ns/op vs baseline %.4g (+%.1f%%, tolerance %.0f%%)",
+					g.Bench, name, got, base, 100*(got/base-1), g.TolerancePct))
+		}
+		fmt.Printf("%-55s %12.4g ns/op  baseline %12.4g  %s\n", g.Bench+"/"+name, got, base, verdict)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%:\n  %s",
+			len(regressions), g.TolerancePct, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// warnUngated reports measured sub-benchmarks that no baseline covers.
+// Every result is recorded under both its raw and suffix-stripped spelling
+// (see parseBenchOutput); a result is ungated only when neither spelling
+// matches, and only the raw spelling is reported to avoid double warnings.
+func warnUngated(g *gate, measured map[string]float64, update bool) {
+	var raws []string
+	for name := range measured {
+		raws = append(raws, name)
+	}
+	sort.Strings(raws)
+	stripped := make(map[string]bool)
+	for _, name := range raws {
+		if i := strings.LastIndex(name, "-"); i >= 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				stripped[name[:i]] = true
+			}
+		}
+	}
+	for _, name := range raws {
+		if stripped[name] { // the stripped alias of another measured name
+			continue
+		}
+		_, rawOK := g.NsPerOp[name]
+		short := name
+		if i := strings.LastIndex(name, "-"); i >= 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				short = name[:i]
+			}
+		}
+		if _, shortOK := g.NsPerOp[short]; rawOK || shortOK {
+			continue
+		}
+		action := "add it to gate.ns_per_op to gate it"
+		if update {
+			action = "-update only refreshes existing baselines; add it to gate.ns_per_op manually"
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: note: %s/%s measured (%.4g ns/op) but has no baseline — %s\n",
+			g.Bench, name, measured[name], action)
+	}
+}
+
+// runBench executes the gated benchmark count times with the pinned
+// benchtime and returns the per-sub-benchmark minimum ns/op.
+func runBench(g *gate, count int) (map[string]float64, error) {
+	args := []string{"test", "-run", "^$",
+		"-bench", "^" + g.Bench + "$",
+		"-benchtime", g.Benchtime,
+		"-count", strconv.Itoa(count),
+		g.Package,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	measured, err := parseBenchOutput(string(out), g.Bench)
+	if err != nil {
+		return nil, err
+	}
+	if len(measured) == 0 {
+		return nil, fmt.Errorf("go test -bench produced no %s results", g.Bench)
+	}
+	return measured, nil
+}
+
+// parseBenchOutput extracts min ns/op per sub-benchmark from `go test
+// -bench` output. Lines look like:
+//
+//	BenchmarkEventPath/net-random-1024-8   5000   4154 ns/op
+//
+// Benchmark names end in a -GOMAXPROCS suffix when GOMAXPROCS > 1 and are
+// bare otherwise, and a trailing numeric path element ("...-1024") is
+// indistinguishable from that suffix without knowing the machine — so each
+// result is recorded under both its raw name and (when the last dash-field
+// is numeric) the suffix-stripped one, min-merged; baselines then match
+// whichever spelling the machine produced. A benchmark with no
+// sub-benchmarks keys as the empty string.
+func parseBenchOutput(out, bench string) (map[string]float64, error) {
+	min := make(map[string]float64)
+	record := func(name string, ns float64) {
+		name = strings.TrimPrefix(strings.TrimPrefix(name, bench), "/")
+		if cur, ok := min[name]; !ok || ns < cur {
+			min[name] = ns
+		}
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("unparseable ns/op in %q: %w", sc.Text(), err)
+		}
+		name := fields[0]
+		record(name, ns)
+		if i := strings.LastIndex(name, "-"); i >= 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				record(name[:i], ns)
+			}
+		}
+	}
+	return min, sc.Err()
+}
+
+// rewriteBaselines replaces gate.ns_per_op in the artifact with the
+// measured values, leaving every other field intact (object key order is
+// normalized by the JSON round-trip).
+func rewriteBaselines(file string, raw []byte, measured map[string]float64) error {
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return err
+	}
+	gateObj, ok := doc["gate"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("no gate object to update")
+	}
+	baselines, ok := gateObj["ns_per_op"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("no gate.ns_per_op object to update")
+	}
+	for name := range baselines {
+		if got, ok := measured[name]; ok {
+			baselines[name] = got
+		}
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(file, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: baselines updated; review the diff before committing\n", file)
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: smpigo/internal/surf
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEventPath/net-neighbor-256-8         	    5000	      2183 ns/op
+BenchmarkEventPath/net-neighbor-256-8         	    5000	      1636 ns/op
+BenchmarkEventPath/net-random-1024-8          	    5000	      4154.5 ns/op
+BenchmarkSomethingElse-8                      	    1000	       99 ns/op
+PASS
+ok  	smpigo/internal/surf	0.056s
+`
+	got, err := parseBenchOutput(out, "BenchmarkEventPath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["net-neighbor-256"]; v != 1636 {
+		t.Errorf("net-neighbor-256 = %v, want the minimum of the two runs (1636)", v)
+	}
+	if v := got["net-random-1024"]; v != 4154.5 {
+		t.Errorf("net-random-1024 = %v, want 4154.5", v)
+	}
+	// A benchmark with no sub-benchmarks keys as the empty string; foreign
+	// benchmarks are keyed under their (unstripped-prefix) full name and
+	// simply never match a baseline.
+	if _, ok := got[""]; ok {
+		t.Error("unexpected empty-key result for sub-benchmark-only output")
+	}
+}
+
+// GOMAXPROCS=1 machines emit bare names whose trailing numeric path element
+// looks like a -GOMAXPROCS suffix; both spellings must resolve.
+func TestParseBenchOutputNoGomaxprocsSuffix(t *testing.T) {
+	out := "BenchmarkEventPath/net-neighbor-256   5000   2364 ns/op\n"
+	got, err := parseBenchOutput(out, "BenchmarkEventPath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["net-neighbor-256"]; v != 2364 {
+		t.Errorf("raw name = %v, want 2364", v)
+	}
+	if v := got["net-neighbor"]; v != 2364 {
+		t.Errorf("stripped name = %v, want 2364", v)
+	}
+}
+
+func TestParseBenchOutputNoSubBench(t *testing.T) {
+	out := "BenchmarkRoute-4   100000   18.6 ns/op\n"
+	got, err := parseBenchOutput(out, "BenchmarkRoute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got[""]; v != 18.6 {
+		t.Errorf("flat benchmark = %v, want 18.6 under the empty key", v)
+	}
+}

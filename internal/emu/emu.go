@@ -27,6 +27,7 @@ import (
 	"smpigo/internal/core"
 	"smpigo/internal/platform"
 	"smpigo/internal/simix"
+	"smpigo/internal/surf/actionheap"
 )
 
 // MPIImpl is the parameter set of an emulated MPI implementation on an
@@ -105,8 +106,15 @@ type Net struct {
 	plat   *platform.Platform
 	impl   MPIImpl
 
-	now    core.Time
-	events core.EventQueue
+	now core.Time
+	// events shares the surf models' completion-date heap. Packet-hop
+	// events are immutable once scheduled, so the lazy-invalidation half is
+	// unused (every entry is pushed at generation zero and stays valid);
+	// what the emulator gets from actionheap is the same O(1) NextEvent /
+	// O(log n) churn event path and the same date-then-push-order
+	// determinism contract as the analytical models — one event-path
+	// implementation across backends.
+	events actionheap.Heap[hopEvent]
 	ports  map[*platform.Link]*port
 	rng    *core.RNG
 }
@@ -130,6 +138,10 @@ type hopEvent struct {
 	pkt int
 	hop int
 }
+
+// Generation implements actionheap.Stamped: hop events are never re-stamped,
+// so every entry stays at generation zero.
+func (hopEvent) Generation() uint64 { return 0 }
 
 // NewNet creates an emulated network over plat with the given MPI
 // implementation parameters.
@@ -211,7 +223,7 @@ func (n *Net) inject(route platform.Route, size int64, start core.Time, ramp boo
 		if ramp {
 			at += core.Duration(n.rampRound(i)) * rtt
 		}
-		n.events.Push(at, hopEvent{msg: m, pkt: i, hop: 0})
+		n.events.Push(hopEvent{msg: m, pkt: i, hop: 0}, at, 0)
 	}
 }
 
@@ -246,12 +258,10 @@ func (n *Net) port(l *platform.Link) *port {
 	return p
 }
 
-// NextEvent implements simix.Model.
+// NextEvent implements simix.Model: an O(1) peek at the earliest scheduled
+// packet-hop date.
 func (n *Net) NextEvent() core.Time {
-	if e := n.events.Peek(); e != nil {
-		return e.At
-	}
-	return core.TimeForever
+	return n.events.NextDue()
 }
 
 // Advance implements simix.Model: processes every packet-hop event up to
@@ -259,14 +269,13 @@ func (n *Net) NextEvent() core.Time {
 // via message completion callbacks — new messages).
 func (n *Net) Advance(to core.Time) {
 	for {
-		e := n.events.Peek()
-		if e == nil || e.At > to+1e-15 {
+		he, at, ok := n.events.Peek()
+		if !ok || at > to+1e-15 {
 			break
 		}
 		n.events.Pop()
-		n.now = e.At
-		he := e.Payload.(hopEvent)
-		n.processHop(he, e.At)
+		n.now = at
+		n.processHop(he, at)
 	}
 	if to > n.now {
 		n.now = to
@@ -285,7 +294,7 @@ func (n *Net) processHop(he hopEvent, at core.Time) {
 	p.busyUntil = txEnd
 	arrive := txEnd + link.Latency
 	if he.hop+1 < len(he.msg.route.Links) {
-		n.events.Push(arrive, hopEvent{msg: he.msg, pkt: he.pkt, hop: he.hop + 1})
+		n.events.Push(hopEvent{msg: he.msg, pkt: he.pkt, hop: he.hop + 1}, arrive, 0)
 		return
 	}
 	he.msg.delivered++

@@ -30,6 +30,15 @@
 // Solve calls after mutations yields the same Values as rebuilding the
 // system from scratch and solving once.
 //
+// Solve exposes the re-solved variables through Resolved(). That list is
+// more than a convenience: it is the contract the surf models' sublinear
+// event path is built on. A flow or task's rate can only change when its
+// component is re-solved, so walking Resolved() — and nothing else — is
+// sufficient to drain lazily-accounted progress and re-stamp completion
+// dates in the models' actionheap. A variable whose component was not
+// touched keeps its Value, its rate, and therefore its stamped date,
+// bit-for-bit.
+//
 // # Place in the stack
 //
 // lmm is the numeric bottom of the simulator and depends on nothing else

@@ -12,6 +12,29 @@ import (
 // (core.TimeForever if none) and Advance to move the model's internal state
 // forward; Advance must fulfill the futures of every activity completing at
 // or before the target date.
+//
+// The kernel step contract, which the models' sublinear event paths build
+// on:
+//
+//   - Once per scheduling round — after every ready actor has run and
+//     blocked — the kernel polls each model's NextEvent exactly once,
+//     advances the clock to the minimum across models and timers, then
+//     calls every model's Advance with that date, in registration order.
+//   - NextEvent must never return a date earlier than the last Advance
+//     target (the kernel treats an event in the past as a fatal model bug).
+//     It need not be a pure function: models backed by a lazily-invalidated
+//     heap (see surf, emu, and package actionheap) discard stale entries
+//     while peeking, mutating internal bookkeeping but never observable
+//     simulation state.
+//   - Advance is prefix-monotone: processing everything up to t1 and then
+//     up to t2 >= t1 must be equivalent to processing up to t2 directly.
+//     The kernel relies on this to hand every model the same step date
+//     regardless of which model produced it.
+//   - Fulfill runs OnFulfill callbacks synchronously, so an Advance that
+//     completes an activity may re-enter a model (a callback starting a new
+//     flow or compute task at the current date). Models must accept
+//     starting activities mid-Advance; the new activity's events belong to
+//     later dates and fire on subsequent steps.
 type Model interface {
 	NextEvent() core.Time
 	Advance(to core.Time)

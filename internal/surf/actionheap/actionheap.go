@@ -1,0 +1,163 @@
+// Package actionheap provides the completion-time min-heap with lazy
+// invalidation shared by the kernel's resource models (surf.Network,
+// surf.CPU, emu.Net). It is the data structure that makes the event path
+// sublinear in population: a model answers NextEvent with an O(1) peek at
+// the earliest stamped date instead of scanning every in-flight action, and
+// each churn event (an action starting, completing, or changing rate) costs
+// one O(log n) heap operation.
+//
+// # Lazy invalidation
+//
+// Entries are never removed or re-keyed in place. An action carries a
+// generation stamp (its Generation method); every entry records the stamp it
+// was pushed with. When an action's date changes — in surf, exactly when
+// lmm.Solve's Resolved() set hands the model a new rate — the model bumps
+// the action's generation and pushes a fresh entry; the old entry stays in
+// the heap and is discarded when it surfaces, because its recorded stamp no
+// longer matches the action's. Completion likewise bumps the generation, so
+// any remaining entries for a finished action evaporate on contact.
+//
+// This is the classical SimGrid SURF "lazy heap" design: invalidation costs
+// nothing at mutation time, and stale entries are paid for once, O(log n)
+// each, when they reach the top.
+//
+// # Determinism
+//
+// Ties on the date are broken by push sequence, so pop order — and therefore
+// everything downstream of it: model wakeup order, actor scheduling, the
+// simulated timestamps of a whole campaign — depends only on the order of
+// Push calls, never on heap internals. Models that need a different tie
+// order among simultaneous events (surf completes flows in start order, not
+// restamp order) collect the qualifying pops first and sort them by their
+// own serial.
+package actionheap
+
+import "smpigo/internal/core"
+
+// Stamped is an action whose heap entries can be lazily invalidated. An
+// entry pushed with generation g is valid while the action's Generation()
+// still returns g; bumping the generation invalidates every entry pushed
+// before the bump. Actions whose dates are immutable (e.g. emu's packet-hop
+// events) can return a constant.
+type Stamped interface {
+	Generation() uint64
+}
+
+// entry is one (date, action, stamp) record in the heap.
+type entry[T Stamped] struct {
+	due    core.Time
+	seq    uint64
+	gen    uint64
+	action T
+}
+
+// Heap is a binary min-heap of stamped actions ordered by date, then push
+// sequence. The zero value is ready to use. Len counts raw entries
+// including stale ones; Peek, Pop, and NextDue prune stale entries from the
+// top before answering, so their results always describe a live action.
+type Heap[T Stamped] struct {
+	items []entry[T]
+	seq   uint64
+}
+
+// Len reports the number of entries currently stored, including stale ones
+// awaiting lazy discard (for tests and stats).
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push schedules action at date due under generation gen. The entry is
+// valid while action.Generation() == gen.
+func (h *Heap[T]) Push(action T, due core.Time, gen uint64) {
+	h.items = append(h.items, entry[T]{due: due, seq: h.seq, gen: gen, action: action})
+	h.seq++
+	h.up(len(h.items) - 1)
+}
+
+// prune discards stale entries from the top until the heap is empty or the
+// top entry is valid.
+func (h *Heap[T]) prune() {
+	for len(h.items) > 0 && h.items[0].gen != h.items[0].action.Generation() {
+		h.popTop()
+	}
+}
+
+// Peek returns the earliest valid action and its date without removing it.
+// ok is false when no valid entry remains.
+func (h *Heap[T]) Peek() (action T, due core.Time, ok bool) {
+	h.prune()
+	if len(h.items) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	return h.items[0].action, h.items[0].due, true
+}
+
+// Pop removes and returns the earliest valid action and its date. ok is
+// false when no valid entry remains.
+func (h *Heap[T]) Pop() (action T, due core.Time, ok bool) {
+	h.prune()
+	if len(h.items) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	top := h.items[0]
+	h.popTop()
+	return top.action, top.due, true
+}
+
+// NextDue returns the date of the earliest valid entry, or core.TimeForever
+// when none remains — exactly the simix.Model NextEvent contract.
+func (h *Heap[T]) NextDue() core.Time {
+	h.prune()
+	if len(h.items) == 0 {
+		return core.TimeForever
+	}
+	return h.items[0].due
+}
+
+func (h *Heap[T]) popTop() {
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero entry[T]
+	h.items[last] = zero // release the action for GC
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+}
+
+func (h *Heap[T]) less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.due != b.due {
+		return a.due < b.due
+	}
+	return a.seq < b.seq
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

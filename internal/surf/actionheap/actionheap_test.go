@@ -1,0 +1,157 @@
+package actionheap
+
+import (
+	"math/rand"
+	"testing"
+
+	"smpigo/internal/core"
+)
+
+// stampedAction is the test double: a mutable action whose current (due,
+// gen) pair is the reference state the heap must agree with.
+type stampedAction struct {
+	id   int
+	due  core.Time
+	gen  uint64
+	dead bool
+}
+
+func (a *stampedAction) Generation() uint64 { return a.gen }
+
+// scanMin is the exhaustive reference: the earliest (due, restamp-order)
+// live action, the linear scan the heap replaces.
+func scanMin(live []*stampedAction) core.Time {
+	next := core.TimeForever
+	for _, a := range live {
+		if !a.dead && a.due < next {
+			next = a.due
+		}
+	}
+	return next
+}
+
+// TestHeapMatchesScanUnderChurn is the property test of the tentpole: after
+// every mutation (start, restamp, completion) of a fuzzed churn sequence,
+// the heap's NextDue equals the exhaustive scan over the live population.
+func TestHeapMatchesScanUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Heap[*stampedAction]
+	var all []*stampedAction
+	now := core.Time(0)
+	nextID := 0
+
+	start := func() {
+		a := &stampedAction{id: nextID, due: now + core.Time(rng.Float64())}
+		nextID++
+		all = append(all, a)
+		h.Push(a, a.due, a.gen)
+	}
+	liveActions := func() []*stampedAction {
+		var live []*stampedAction
+		for _, a := range all {
+			if !a.dead {
+				live = append(live, a)
+			}
+		}
+		return live
+	}
+	for i := 0; i < 16; i++ {
+		start()
+	}
+	for step := 0; step < 5000; step++ {
+		now += core.Time(rng.Float64() * 0.01)
+		live := liveActions()
+		switch op := rng.Intn(3); {
+		case op == 0 || len(live) == 0: // start a new action
+			start()
+		case op == 1: // restamp a random live action (rate change)
+			a := live[rng.Intn(len(live))]
+			a.gen++
+			a.due = now + core.Time(rng.Float64())
+			h.Push(a, a.due, a.gen)
+		default: // complete a random live action
+			a := live[rng.Intn(len(live))]
+			a.gen++ // completion invalidates any remaining entries
+			a.dead = true
+		}
+		if got, want := h.NextDue(), scanMin(liveActions()); got != want {
+			t.Fatalf("step %d: heap NextDue %v, exhaustive scan %v", step, got, want)
+		}
+	}
+}
+
+// TestLazyInvalidationStress restamps a fixed population thousands of times
+// without any completions — the pure rate-churn case. The heap must keep
+// answering the scan's minimum, and the stale entries must actually be
+// discarded once they surface (bounded growth across drains).
+func TestLazyInvalidationStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Heap[*stampedAction]
+	const population = 64
+	live := make([]*stampedAction, population)
+	for i := range live {
+		live[i] = &stampedAction{id: i, due: core.Time(rng.Float64())}
+		h.Push(live[i], live[i].due, live[i].gen)
+	}
+	for step := 0; step < 20000; step++ {
+		a := live[rng.Intn(population)]
+		a.gen++
+		a.due = core.Time(rng.Float64())
+		h.Push(a, a.due, a.gen)
+		if got, want := h.NextDue(), scanMin(live); got != want {
+			t.Fatalf("step %d: heap NextDue %v, scan %v", step, got, want)
+		}
+	}
+	// Drain: every live action pops exactly once, in due order, and every
+	// stale entry is discarded on the way.
+	prev := core.Time(-1)
+	for popped := 0; popped < population; popped++ {
+		a, due, ok := h.Pop()
+		if !ok {
+			t.Fatalf("heap empty after %d pops, want %d", popped, population)
+		}
+		if due != a.due || due < prev {
+			t.Fatalf("pop %d: got (%v, action due %v), prev %v — stale entry leaked", popped, due, a.due, prev)
+		}
+		prev = due
+		a.gen++ // completed: invalidate anything left for it
+	}
+	if _, _, ok := h.Pop(); ok {
+		t.Error("heap should be empty after all live actions popped")
+	}
+	if h.Len() != 0 {
+		t.Errorf("heap holds %d entries after full drain, want 0", h.Len())
+	}
+}
+
+// TestPopTieBreak: equal dates pop in push order, the determinism contract
+// the models' wakeup ordering builds on.
+func TestPopTieBreak(t *testing.T) {
+	var h Heap[*stampedAction]
+	actions := make([]*stampedAction, 8)
+	for i := range actions {
+		actions[i] = &stampedAction{id: i, due: 1.5}
+		h.Push(actions[i], 1.5, 0)
+	}
+	for i := range actions {
+		a, _, ok := h.Pop()
+		if !ok || a.id != i {
+			t.Fatalf("pop %d: got action %+v, want id %d (push order)", i, a, i)
+		}
+		a.gen++
+	}
+}
+
+// TestEmptyHeap: zero-value heap answers the no-pending-event sentinel.
+func TestEmptyHeap(t *testing.T) {
+	var h Heap[*stampedAction]
+	if got := h.NextDue(); got != core.TimeForever {
+		t.Errorf("empty heap NextDue %v, want TimeForever", got)
+	}
+	if _, _, ok := h.Peek(); ok {
+		t.Error("Peek on empty heap reported ok")
+	}
+	if _, _, ok := h.Pop(); ok {
+		t.Error("Pop on empty heap reported ok")
+	}
+}

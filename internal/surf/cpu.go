@@ -1,13 +1,16 @@
 package surf
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 
 	"smpigo/internal/core"
 	"smpigo/internal/lmm"
 	"smpigo/internal/platform"
 	"smpigo/internal/simix"
+	"smpigo/internal/surf/actionheap"
 )
 
 // CPU is the compute model: an Execute action drains a number of flops at
@@ -21,22 +24,42 @@ import (
 // disjoint, so the incremental solver reshapes only the host whose task set
 // changed — starting or finishing a task on one host never recomputes the
 // rest of the machine.
+//
+// Like the network model, the event path is heap-based: each task's stamped
+// completion date lives in a lazy min-heap, NextEvent is an O(1) peek, and
+// only tasks whose rate the solver actually changed are drained and
+// restamped — never the whole population.
 type CPU struct {
 	kernel *simix.Kernel
 
-	now   core.Time
-	tasks []*cpuTask
-	sys   *lmm.System
-	cons  map[*platform.Host]*lmm.Constraint
+	now  core.Time
+	sys  *lmm.System
+	cons map[*platform.Host]*lmm.Constraint
+
+	heap     actionheap.Heap[*cpuTask]
+	inFlight int
+	startSeq uint64
+
+	completed []*cpuTask
 }
 
 type cpuTask struct {
-	host      *platform.Host
+	host   *platform.Host
+	future *simix.Future
+	v      *lmm.Variable
+
+	// remaining flops at lastSync, draining at rate; synced lazily when the
+	// rate changes or the completion tolerance is checked.
 	remaining float64
+	lastSync  core.Time
 	rate      float64
-	future    *simix.Future
-	v         *lmm.Variable
+
+	seq uint64 // start serial: simultaneous completions fulfill in start order
+	gen uint64 // actionheap generation stamp
 }
+
+// Generation implements actionheap.Stamped.
+func (t *cpuTask) Generation() uint64 { return t.gen }
 
 // NewCPU creates a CPU model bound to kernel.
 func NewCPU(kernel *simix.Kernel) *CPU {
@@ -65,12 +88,13 @@ func (c *CPU) Execute(host *platform.Host, flops float64) *simix.Future {
 		c.kernel.FulfillAt(f, nil, c.now)
 		return f
 	}
-	t := &cpuTask{host: host, remaining: flops, future: f}
+	t := &cpuTask{host: host, remaining: flops, future: f, lastSync: c.now, seq: c.startSeq}
+	c.startSeq++
 	t.v = c.sys.NewVariable(host.Name, 1, math.Inf(1))
 	t.v.Data = t
 	c.sys.Attach(t.v, c.constraint(host))
-	c.tasks = append(c.tasks, t)
-	c.reshare()
+	c.inFlight++
+	c.reshare(c.now)
 	return f
 }
 
@@ -88,60 +112,88 @@ func (c *CPU) Delay(host *platform.Host, d core.Duration) *simix.Future {
 	return c.Execute(host, float64(d)*host.Speed)
 }
 
-// reshare refreshes task rates after the task population changed. Only the
-// components the LMM dirty set touched are re-solved and only their
-// variables walked, so starting or finishing a task on one host costs that
-// host's component, not the machine.
-func (c *CPU) reshare() {
+// sync drains t's flop count to date to at its current rate.
+func (t *cpuTask) sync(to core.Time) {
+	t.remaining -= t.rate * float64(to-t.lastSync)
+	t.lastSync = to
+}
+
+// stamp records t's completion date as a fresh heap entry, invalidating any
+// earlier entry.
+func (c *CPU) stamp(t *cpuTask, at core.Time) {
+	t.gen++
+	c.heap.Push(t, at+core.Duration(t.remaining/t.rate), t.gen)
+}
+
+// reshare refreshes task rates after the task population changed at date to.
+// Only the components the LMM dirty set touched are re-solved, and only
+// their tasks are drained and restamped — starting or finishing a task on
+// one host costs that host's component, not the machine.
+func (c *CPU) reshare(to core.Time) {
 	c.sys.Solve()
 	for _, v := range c.sys.Resolved() {
 		t := v.Data.(*cpuTask)
+		t.sync(to)
 		t.rate = v.Value
 		if t.rate <= 0 {
 			panic(fmt.Sprintf(
 				"surf: compute task with %g flops remaining on host %q allocated rate 0 (host speed %g); it would never complete",
 				t.remaining, t.host.Name, t.host.Speed))
 		}
+		c.stamp(t, to)
 	}
 }
 
 // InFlight returns the number of active compute actions.
-func (c *CPU) InFlight() int { return len(c.tasks) }
+func (c *CPU) InFlight() int { return c.inFlight }
 
-// NextEvent implements simix.Model.
+// NextEvent implements simix.Model: an O(1) peek at the earliest stamped
+// completion date.
 func (c *CPU) NextEvent() core.Time {
-	next := core.TimeForever
-	for _, t := range c.tasks {
-		if t.rate > 0 {
-			if done := c.now + core.Duration(t.remaining/t.rate); done < next {
-				next = done
-			}
-		}
-	}
-	return next
+	return c.heap.NextDue()
 }
 
-// Advance implements simix.Model.
+// Advance implements simix.Model: completes every task whose flops have
+// drained by date to and reshares the touched host components. The
+// completion tolerance is the scan implementation's: a task finishes once
+// its drained remainder is within 1e-9 of a rate-second of zero.
 func (c *CPU) Advance(to core.Time) {
-	dt := float64(to - c.now)
-	if dt < 0 {
+	if to < c.now {
 		return
 	}
 	c.now = to
-	changed := false
-	live := c.tasks[:0]
-	for _, t := range c.tasks {
-		t.remaining -= t.rate * dt
-		if t.remaining <= 1e-9*t.rate {
-			c.sys.RemoveVariable(t.v)
-			c.kernel.Fulfill(t.future, nil)
-			changed = true
+	c.completed = c.completed[:0]
+	for {
+		t, due, ok := c.heap.Peek()
+		if !ok {
+			break
+		}
+		if t.remaining-t.rate*float64(to-t.lastSync) <= 1e-9*t.rate {
+			c.heap.Pop()
+			c.completed = append(c.completed, t)
 			continue
 		}
-		live = append(live, t)
+		if due <= to {
+			// Overdue but short of its flop count by more than the
+			// tolerance (float drift on huge tasks): restamp the drained
+			// remainder, as the scan kept answering now + remaining/rate.
+			c.heap.Pop()
+			t.sync(to)
+			c.stamp(t, to)
+			continue
+		}
+		break
 	}
-	c.tasks = live
-	if changed {
-		c.reshare()
+	if len(c.completed) == 0 {
+		return
 	}
+	slices.SortFunc(c.completed, func(a, b *cpuTask) int { return cmp.Compare(a.seq, b.seq) })
+	for _, t := range c.completed {
+		c.sys.RemoveVariable(t.v)
+		t.v = nil
+		t.gen++
+		c.inFlight--
+		c.kernel.Fulfill(t.future, nil)
+	}
+	c.reshare(to)
 }

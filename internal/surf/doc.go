@@ -18,4 +18,12 @@
 // host's constraint. After each mutation the solver re-solves only the
 // dirty components and reports which variables changed, so the models
 // refresh rates and completion estimates for those alone.
+//
+// The event path is sublinear in the action population: completion dates
+// live in the lazily-invalidated min-heap of package actionheap, NextEvent
+// is an O(1) peek, and lmm.Solve's Resolved() set is the only thing that
+// re-stamps a date — an action's bytes (or flops) drain lazily between rate
+// changes rather than being walked every kernel step. See
+// docs/ARCHITECTURE.md ("The event path") for the full design and the
+// determinism argument.
 package surf

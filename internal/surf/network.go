@@ -1,13 +1,26 @@
 package surf
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"strings"
 
 	"smpigo/internal/core"
 	"smpigo/internal/lmm"
 	"smpigo/internal/platform"
 	"smpigo/internal/simix"
+	"smpigo/internal/surf/actionheap"
+)
+
+// Tolerances of the event path, shared by the heap pop loop. They are the
+// historical values of the linear-scan implementation, so event timing is
+// unchanged: a flow still leaves its latency phase within promoteTol of
+// latEnd, and still completes once its drained remainder is within byteTol
+// of zero.
+const (
+	promoteTol core.Duration = 1e-15
+	byteTol                  = 1e-6
 )
 
 // Network is the flow-level analytical network model. Transfers are flows:
@@ -18,6 +31,14 @@ import (
 // With Contention disabled, sharing is skipped entirely and every flow
 // drains at its cap — the behaviour of the contention-blind simulators the
 // paper compares against (white bars of Figures 7 and 11).
+//
+// The event path is sublinear in the flow population: every flow's next
+// date (latency end, then stamped completion date) lives in a lazy min-heap
+// (package actionheap), so NextEvent is an O(1) peek and a churn event costs
+// O(log n) heap work plus the LMM re-solve of the touched components. A
+// flow's byte count is drained lazily — synced exactly when lmm.Solve's
+// Resolved() set reports its rate changed — instead of walking the whole
+// population every kernel step.
 type Network struct {
 	kernel *simix.Kernel
 	model  NetModel
@@ -31,9 +52,17 @@ type Network struct {
 	now  core.Time
 	sys  *lmm.System
 	cons map[*platform.Link]*lmm.Constraint
-	// flows is kept in start order so that completions, promotions, and
-	// therefore actor wakeups are deterministic run to run.
-	flows []*flow
+
+	// heap holds one valid entry per in-flight flow: its latency end while
+	// unpromoted, then its stamped completion date. Restamps push fresh
+	// entries; stale ones are discarded lazily (see actionheap).
+	heap     actionheap.Heap[*flow]
+	inFlight int
+	startSeq uint64
+
+	// Per-Advance scratch, retained across steps.
+	promoted  []*flow
+	completed []*flow
 }
 
 type flow struct {
@@ -41,12 +70,28 @@ type flow struct {
 	bound  float64
 	future *simix.Future
 
-	latEnd    core.Time // end of latency phase
-	started   bool      // transfer phase entered
-	remaining float64   // bytes left to drain
-	v         *lmm.Variable
+	latEnd  core.Time // end of latency phase
+	started bool      // transfer phase entered
+
+	// remaining is the byte count at lastSync; it drains at rate from
+	// lastSync on, and is synced (drained to the current date) exactly when
+	// the rate changes or the completion tolerance must be checked.
+	remaining float64
+	lastSync  core.Time
 	rate      float64
+	v         *lmm.Variable
+
+	// seq is the start serial: completions and promotions that share a date
+	// are processed in start order, like the scan implementation did, so
+	// actor wakeup order is unchanged.
+	seq uint64
+	// gen is the actionheap generation stamp; bumped on every restamp and at
+	// completion, invalidating older heap entries.
+	gen uint64
 }
+
+// Generation implements actionheap.Stamped.
+func (f *flow) Generation() uint64 { return f.gen }
 
 // NewNetwork creates a network model bound to kernel, using the given
 // point-to-point model, with contention enabled.
@@ -69,7 +114,7 @@ func NewNetwork(kernel *simix.Kernel, model NetModel) *Network {
 func (n *Network) Model() NetModel { return n.model }
 
 // InFlight returns the number of active flows (for tests and stats).
-func (n *Network) InFlight() int { return len(n.flows) }
+func (n *Network) InFlight() int { return n.inFlight }
 
 // StartFlow begins transferring size bytes along route and returns a future
 // fulfilled (with nil) at delivery time. An empty route is a loopback
@@ -88,10 +133,13 @@ func (n *Network) StartFlow(route platform.Route, size int64, future *simix.Futu
 		future:    future,
 		latEnd:    n.now + core.Duration(seg.LatFactor)*route.Latency,
 		remaining: float64(size),
+		seq:       n.startSeq,
 	}
-	n.flows = append(n.flows, f)
-	// No reshare needed yet: the flow consumes no bandwidth during its
-	// latency phase. It joins the sharing system in Advance.
+	n.startSeq++
+	n.inFlight++
+	// The flow consumes no bandwidth during its latency phase; it joins the
+	// sharing system when its latency entry pops in Advance.
+	n.heap.Push(f, f.latEnd, f.gen)
 }
 
 func (n *Network) constraint(l *platform.Link) *lmm.Constraint {
@@ -103,27 +151,37 @@ func (n *Network) constraint(l *platform.Link) *lmm.Constraint {
 	return c
 }
 
-// reshare recomputes flow rates after the set of transferring flows changed.
-// Solving is selective: promotions and completions only dirty the LMM
-// components of the links they touch, flows in untouched components keep
-// their rates bit-for-bit, and only the re-solved variables are walked to
-// refresh rates — the reshare cost scales with the churned components, not
-// with the total flow population.
-func (n *Network) reshare() {
-	if !n.Contention {
-		for _, f := range n.flows {
-			if f.started {
-				f.rate = f.bound
-				n.checkStalled(f)
-			}
-		}
-		return
-	}
+// sync drains f's byte count to date to at its current rate. It is the lazy
+// replacement of the former every-step drain loop: called when the flow's
+// rate is about to change (so the old rate stops applying) and when the
+// completion tolerance fires.
+func (f *flow) sync(to core.Time) {
+	f.remaining -= f.rate * float64(to-f.lastSync)
+	f.lastSync = to
+}
+
+// stamp records f's completion date — the current date plus the time to
+// drain the remaining bytes at the current rate — as a fresh heap entry,
+// invalidating any earlier entry.
+func (n *Network) stamp(f *flow, at core.Time) {
+	f.gen++
+	n.heap.Push(f, at+core.Duration(f.remaining/f.rate), f.gen)
+}
+
+// reshare recomputes flow rates after the set of transferring flows changed
+// at date to. Solving is selective: promotions and completions only dirty
+// the LMM components of the links they touch, flows in untouched components
+// keep their rates — and their stamped completion dates — bit-for-bit, and
+// only the re-solved variables are synced and restamped. The reshare cost
+// scales with the churned components, not with the total flow population.
+func (n *Network) reshare(to core.Time) {
 	n.sys.Solve()
 	for _, v := range n.sys.Resolved() {
 		f := v.Data.(*flow)
+		f.sync(to) // drain at the outgoing rate before it changes
 		f.rate = v.Value
 		n.checkStalled(f)
+		n.stamp(f, to)
 	}
 }
 
@@ -145,71 +203,114 @@ func (n *Network) checkStalled(f *flow) {
 		f.remaining, strings.Join(names, " -> "), f.bound))
 }
 
-// NextEvent implements simix.Model.
+// NextEvent implements simix.Model: an O(1) peek at the earliest stamped
+// date (after lazily discarding stale entries).
 func (n *Network) NextEvent() core.Time {
-	next := core.TimeForever
-	for _, f := range n.flows {
-		if !f.started {
-			if f.latEnd < next {
-				next = f.latEnd
-			}
-		} else if f.rate > 0 {
-			if t := n.now + core.Duration(f.remaining/f.rate); t < next {
-				next = t
-			}
-		}
-	}
-	return next
+	return n.heap.NextDue()
 }
 
-// Advance implements simix.Model: drains bytes until date to, promotes
-// flows out of their latency phase, and completes finished flows.
+// Advance implements simix.Model: promotes flows whose latency phase ends by
+// date to, completes flows whose bytes have drained, and reshares the
+// touched components. Only flows with an event at or before to are visited;
+// the rest of the population is untouched.
 func (n *Network) Advance(to core.Time) {
-	dt := float64(to - n.now)
-	if dt < 0 {
+	if to < n.now {
 		return
 	}
 	n.now = to
 
-	changed := false
-	for _, f := range n.flows {
-		if f.started {
-			f.remaining -= f.rate * dt
+	n.promoted = n.promoted[:0]
+	n.completed = n.completed[:0]
+	for {
+		f, due, ok := n.heap.Peek()
+		if !ok {
+			break
 		}
-	}
-	// Promote flows whose latency ended.
-	for _, f := range n.flows {
-		if !f.started && f.latEnd <= to+1e-15 {
-			f.started = true
-			if f.remaining <= 0 {
-				continue // zero-byte control flow: completes below
+		if !f.started {
+			// Latency entry. The promotion tolerance is the scan's: a flow
+			// whose latency ends within promoteTol of the step date enters
+			// its transfer phase now.
+			if due > to+promoteTol {
+				break
 			}
-			if n.Contention {
-				f.v = n.sys.NewVariable("flow", 1, f.bound)
-				f.v.Data = f
-				for _, l := range f.route.Links {
-					n.sys.Attach(f.v, n.constraint(l))
-				}
-			}
-			changed = true
-		}
-	}
-	// Complete drained flows, preserving start order. A byte tolerance
-	// absorbs floating-point drift.
-	live := n.flows[:0]
-	for _, f := range n.flows {
-		if f.started && f.remaining <= 1e-6 {
-			if f.v != nil {
-				n.sys.RemoveVariable(f.v)
-			}
-			n.kernel.Fulfill(f.future, nil)
-			changed = true
+			n.heap.Pop()
+			n.promoted = append(n.promoted, f)
 			continue
 		}
-		live = append(live, f)
+		// Completion entry. The byte tolerance absorbs floating-point
+		// drift: the flow completes once its drained remainder is within
+		// byteTol of zero at the step date. Unlike the scan, only surfaced
+		// entries are tolerance-checked — a flow within byteTol of done but
+		// stamped behind a non-qualifying entry completes at its own due
+		// date, at most byteTol/rate later (see ARCHITECTURE, "The event
+		// path").
+		if f.remaining-f.rate*float64(to-f.lastSync) <= byteTol {
+			n.heap.Pop()
+			n.completed = append(n.completed, f)
+			continue
+		}
+		if due <= to {
+			// Overdue but materially short of its byte count (possible on
+			// huge transfers, where one ulp of the remainder exceeds the
+			// tolerance): re-stamp the drained remainder, as the scan kept
+			// answering now + remaining/rate. If the remainder is below the
+			// clock's resolution at this date, restamping would reproduce
+			// due == to forever (the scan implementation livelocked at
+			// kernel level in this state) — complete instead.
+			n.heap.Pop()
+			f.sync(to)
+			if to+core.Duration(f.remaining/f.rate) <= to {
+				n.completed = append(n.completed, f)
+				continue
+			}
+			n.stamp(f, to)
+			continue
+		}
+		break
 	}
-	n.flows = live
-	if changed {
-		n.reshare()
+	if len(n.promoted) == 0 && len(n.completed) == 0 {
+		return
+	}
+
+	// Promote in start order so LMM variables are created in the order the
+	// scan implementation created them (variable serials seed component
+	// ordering, so this keeps allocations bit-identical).
+	slices.SortFunc(n.promoted, func(a, b *flow) int { return cmp.Compare(a.seq, b.seq) })
+	for _, f := range n.promoted {
+		f.started = true
+		f.lastSync = to
+		if f.remaining <= 0 {
+			// Zero-byte control flow: completes below, never joins sharing.
+			n.completed = append(n.completed, f)
+			continue
+		}
+		if n.Contention {
+			f.v = n.sys.NewVariable("flow", 1, f.bound)
+			f.v.Data = f
+			for _, l := range f.route.Links {
+				n.sys.Attach(f.v, n.constraint(l))
+			}
+		} else {
+			// No sharing: the flow drains at its cap from promotion on.
+			f.rate = f.bound
+			n.checkStalled(f)
+			n.stamp(f, to)
+		}
+	}
+
+	// Complete in start order — the wakeup order the scan produced.
+	slices.SortFunc(n.completed, func(a, b *flow) int { return cmp.Compare(a.seq, b.seq) })
+	for _, f := range n.completed {
+		if f.v != nil {
+			n.sys.RemoveVariable(f.v)
+			f.v = nil
+		}
+		f.gen++ // invalidate any remaining heap entries
+		n.inFlight--
+		n.kernel.Fulfill(f.future, nil)
+	}
+
+	if n.Contention {
+		n.reshare(to)
 	}
 }
