@@ -42,12 +42,16 @@ type gate struct {
 	Benchtime    string             `json:"benchtime"`
 	TolerancePct float64            `json:"tolerance_pct"`
 	NsPerOp      map[string]float64 `json:"ns_per_op"`
+	// Metrics gates custom testing.B metrics (e.g. "bytes/host") per
+	// sub-benchmark, with the same tolerance as ns_per_op.
+	Metrics map[string]map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
 	var (
 		update = flag.Bool("update", false, "rewrite the baseline ns_per_op maps with freshly measured values instead of gating")
 		count  = flag.Int("count", 3, "benchmark repetitions; the minimum ns/op of the runs is compared")
+		short  = flag.Bool("short", false, "run benchmarks with -short; baselines whose sub-benchmarks skip themselves are reported as skipped, not missing")
 	)
 	flag.Parse()
 	files := flag.Args()
@@ -56,7 +60,7 @@ func main() {
 	}
 	failed := false
 	for _, file := range files {
-		if err := runGate(file, *count, *update); err != nil {
+		if err := runGate(file, *count, *update, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", file, err)
 			failed = true
 		}
@@ -66,7 +70,7 @@ func main() {
 	}
 }
 
-func runGate(file string, count int, update bool) error {
+func runGate(file string, count int, update, short bool) error {
 	raw, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -84,7 +88,7 @@ func runGate(file string, count int, update bool) error {
 	if g.Package == "" || g.Bench == "" || len(g.NsPerOp) == 0 {
 		return fmt.Errorf("gate object incomplete: need package, bench, and ns_per_op")
 	}
-	measured, err := runBench(g, count)
+	measured, metrics, err := runBench(g, count, short)
 	if err != nil {
 		return err
 	}
@@ -92,37 +96,59 @@ func runGate(file string, count int, update bool) error {
 	// in both modes, or a newly added case would silently never be covered.
 	warnUngated(g, measured, update)
 	if update {
-		return rewriteBaselines(file, raw, measured)
+		return rewriteBaselines(file, raw, measured, metrics)
 	}
 
-	names := make([]string, 0, len(g.NsPerOp))
-	for name := range g.NsPerOp {
-		names = append(names, name)
-	}
-	sort.Strings(names)
 	var regressions []string
-	for _, name := range names {
-		base := g.NsPerOp[name]
-		got, ok := measured[name]
-		if !ok {
-			regressions = append(regressions, fmt.Sprintf("%s/%s: baseline present but benchmark produced no result", g.Bench, name))
-			continue
+	check := func(name, unit string, base, got float64, present bool) {
+		label := fmt.Sprintf("%s/%s", g.Bench, name)
+		if unit != "ns/op" {
+			label += " " + unit
+		}
+		if !present {
+			// Under -short a sub-benchmark may skip itself (the nightly-only
+			// shapes); its baselines are out of scope rather than missing.
+			if short {
+				fmt.Printf("%-55s %26s  skipped (-short)\n", label, "")
+				return
+			}
+			regressions = append(regressions, label+": baseline present but benchmark produced no result")
+			return
 		}
 		limit := base * (1 + g.TolerancePct/100)
 		verdict := "ok"
 		if got > limit {
 			verdict = "REGRESSION"
 			regressions = append(regressions,
-				fmt.Sprintf("%s/%s: %.4g ns/op vs baseline %.4g (+%.1f%%, tolerance %.0f%%)",
-					g.Bench, name, got, base, 100*(got/base-1), g.TolerancePct))
+				fmt.Sprintf("%s: %.4g %s vs baseline %.4g (+%.1f%%, tolerance %.0f%%)",
+					label, got, unit, base, 100*(got/base-1), g.TolerancePct))
 		}
-		fmt.Printf("%-55s %12.4g ns/op  baseline %12.4g  %s\n", g.Bench+"/"+name, got, base, verdict)
+		fmt.Printf("%-55s %12.4g %-10s baseline %12.4g  %s\n", label, got, unit, base, verdict)
+	}
+	for _, name := range sortedKeys(g.NsPerOp) {
+		got, ok := measured[name]
+		check(name, "ns/op", g.NsPerOp[name], got, ok)
+	}
+	for _, name := range sortedKeys(g.Metrics) {
+		for _, unit := range sortedKeys(g.Metrics[name]) {
+			got, ok := metrics[name][unit]
+			check(name, unit, g.Metrics[name][unit], got, ok)
+		}
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%:\n  %s",
 			len(regressions), g.TolerancePct, strings.Join(regressions, "\n  "))
 	}
 	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // warnUngated reports measured sub-benchmarks that no baseline covers.
@@ -167,34 +193,43 @@ func warnUngated(g *gate, measured map[string]float64, update bool) {
 }
 
 // runBench executes the gated benchmark count times with the pinned
-// benchtime and returns the per-sub-benchmark minimum ns/op.
-func runBench(g *gate, count int) (map[string]float64, error) {
+// benchtime and returns the per-sub-benchmark minimum ns/op plus any custom
+// metrics (min per unit).
+func runBench(g *gate, count int, short bool) (map[string]float64, map[string]map[string]float64, error) {
 	args := []string{"test", "-run", "^$",
 		"-bench", "^" + g.Bench + "$",
 		"-benchtime", g.Benchtime,
 		"-count", strconv.Itoa(count),
-		g.Package,
 	}
+	if short {
+		args = append(args, "-short")
+	}
+	args = append(args, g.Package)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+		return nil, nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
 	}
-	measured, err := parseBenchOutput(string(out), g.Bench)
+	measured, metrics, err := parseBenchOutput(string(out), g.Bench)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(measured) == 0 {
-		return nil, fmt.Errorf("go test -bench produced no %s results", g.Bench)
+		return nil, nil, fmt.Errorf("go test -bench produced no %s results", g.Bench)
 	}
-	return measured, nil
+	return measured, metrics, nil
 }
 
 // parseBenchOutput extracts min ns/op per sub-benchmark from `go test
-// -bench` output. Lines look like:
+// -bench` output, plus any custom metrics emitted via b.ReportMetric.
+// Lines look like:
 //
 //	BenchmarkEventPath/net-random-1024-8   5000   4154 ns/op
+//	BenchmarkScale/dragonfly16k/route-8    3000   64.2 ns/op   348.2 bytes/host
+//
+// after the iteration count, values come in (number, unit) pairs; ns/op
+// lands in the first result map, every other unit in the metrics map.
 //
 // Benchmark names end in a -GOMAXPROCS suffix when GOMAXPROCS > 1 and are
 // bare otherwise, and a trailing numeric path element ("...-1024") is
@@ -203,12 +238,24 @@ func runBench(g *gate, count int) (map[string]float64, error) {
 // is numeric) the suffix-stripped one, min-merged; baselines then match
 // whichever spelling the machine produced. A benchmark with no
 // sub-benchmarks keys as the empty string.
-func parseBenchOutput(out, bench string) (map[string]float64, error) {
+func parseBenchOutput(out, bench string) (map[string]float64, map[string]map[string]float64, error) {
 	min := make(map[string]float64)
-	record := func(name string, ns float64) {
+	metrics := make(map[string]map[string]float64)
+	record := func(name, unit string, v float64) {
 		name = strings.TrimPrefix(strings.TrimPrefix(name, bench), "/")
-		if cur, ok := min[name]; !ok || ns < cur {
-			min[name] = ns
+		if unit == "ns/op" {
+			if cur, ok := min[name]; !ok || v < cur {
+				min[name] = v
+			}
+			return
+		}
+		m := metrics[name]
+		if m == nil {
+			m = make(map[string]float64)
+			metrics[name] = m
+		}
+		if cur, ok := m[unit]; !ok || v < cur {
+			m[unit] = v
 		}
 	}
 	sc := bufio.NewScanner(strings.NewReader(out))
@@ -217,25 +264,31 @@ func parseBenchOutput(out, bench string) (map[string]float64, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
 			continue
 		}
-		ns, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("unparseable ns/op in %q: %w", sc.Text(), err)
-		}
 		name := fields[0]
-		record(name, ns)
+		short := ""
 		if i := strings.LastIndex(name, "-"); i >= 0 {
 			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				record(name[:i], ns)
+				short = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("unparseable value in %q: %w", sc.Text(), err)
+			}
+			record(name, fields[i+1], v)
+			if short != "" {
+				record(short, fields[i+1], v)
 			}
 		}
 	}
-	return min, sc.Err()
+	return min, metrics, sc.Err()
 }
 
-// rewriteBaselines replaces gate.ns_per_op in the artifact with the
-// measured values, leaving every other field intact (object key order is
-// normalized by the JSON round-trip).
-func rewriteBaselines(file string, raw []byte, measured map[string]float64) error {
+// rewriteBaselines replaces gate.ns_per_op (and gate.metrics, when present)
+// in the artifact with the measured values, leaving every other field
+// intact (object key order is normalized by the JSON round-trip).
+func rewriteBaselines(file string, raw []byte, measured map[string]float64, metrics map[string]map[string]float64) error {
 	var doc map[string]any
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return err
@@ -251,6 +304,19 @@ func rewriteBaselines(file string, raw []byte, measured map[string]float64) erro
 	for name := range baselines {
 		if got, ok := measured[name]; ok {
 			baselines[name] = got
+		}
+	}
+	if metricObj, ok := gateObj["metrics"].(map[string]any); ok {
+		for name := range metricObj {
+			units, ok := metricObj[name].(map[string]any)
+			if !ok {
+				continue
+			}
+			for unit := range units {
+				if got, ok := metrics[name][unit]; ok {
+					units[unit] = got
+				}
+			}
 		}
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")

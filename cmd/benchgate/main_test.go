@@ -14,7 +14,7 @@ BenchmarkSomethingElse-8                      	    1000	       99 ns/op
 PASS
 ok  	smpigo/internal/surf	0.056s
 `
-	got, err := parseBenchOutput(out, "BenchmarkEventPath")
+	got, _, err := parseBenchOutput(out, "BenchmarkEventPath")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ ok  	smpigo/internal/surf	0.056s
 // looks like a -GOMAXPROCS suffix; both spellings must resolve.
 func TestParseBenchOutputNoGomaxprocsSuffix(t *testing.T) {
 	out := "BenchmarkEventPath/net-neighbor-256   5000   2364 ns/op\n"
-	got, err := parseBenchOutput(out, "BenchmarkEventPath")
+	got, _, err := parseBenchOutput(out, "BenchmarkEventPath")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,11 +50,32 @@ func TestParseBenchOutputNoGomaxprocsSuffix(t *testing.T) {
 
 func TestParseBenchOutputNoSubBench(t *testing.T) {
 	out := "BenchmarkRoute-4   100000   18.6 ns/op\n"
-	got, err := parseBenchOutput(out, "BenchmarkRoute")
+	got, _, err := parseBenchOutput(out, "BenchmarkRoute")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v := got[""]; v != 18.6 {
 		t.Errorf("flat benchmark = %v, want 18.6 under the empty key", v)
+	}
+}
+
+// Custom metrics (b.ReportMetric units beyond ns/op) land in the second
+// result map, min-merged, under both name spellings like ns/op does.
+func TestParseBenchOutputCustomMetrics(t *testing.T) {
+	out := `BenchmarkScale/dragonfly16k/route-8   3000   83.6 ns/op   350.1 bytes/host   0 B/op   0 allocs/op
+BenchmarkScale/dragonfly16k/route-8   3000   85.0 ns/op   348.2 bytes/host   0 B/op   0 allocs/op
+`
+	got, metrics, err := parseBenchOutput(out, "BenchmarkScale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["dragonfly16k/route"]; v != 83.6 {
+		t.Errorf("ns/op = %v, want the minimum of the two runs (83.6)", v)
+	}
+	if v := metrics["dragonfly16k/route"]["bytes/host"]; v != 348.2 {
+		t.Errorf("bytes/host = %v, want the minimum of the two runs (348.2)", v)
+	}
+	if v := metrics["dragonfly16k/route"]["allocs/op"]; v != 0 {
+		t.Errorf("allocs/op = %v, want 0", v)
 	}
 }

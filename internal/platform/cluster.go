@@ -73,37 +73,33 @@ func (s ClusterSpec) Validate() error {
 }
 
 // Build instantiates the platform for the spec: per-node up/down links,
-// per-cabinet up/down uplinks, one backbone link, and a hierarchical router.
+// per-cabinet up/down uplinks, one backbone link, and the implicit
+// hierarchical router (closed-form link indices, no per-pair storage).
 func (s ClusterSpec) Build() (*Platform, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	p := New(s.Name)
+	n := s.NodeCount()
+	p.Reserve(n, 3*len(s.Cabinets)+2*n+1)
 
-	type nodeLinks struct{ up, down *Link }
-	type cabLinks struct {
-		up, down  *Link
-		backplane *Link
-	}
-
-	var nodes []nodeLinks
-	cabs := make([]cabLinks, len(s.Cabinets))
-
+	// prefix[ci] is the number of nodes in cabinets before ci; the router
+	// derives every link index from it (see clusterRouter).
+	prefix := make([]int, len(s.Cabinets))
 	for ci, count := range s.Cabinets {
-		cabs[ci] = cabLinks{
-			up:   p.AddLink(fmt.Sprintf("%s-cab%d-up", s.Name, ci), s.UplinkBandwidth, s.UplinkLatency, lmm.Shared),
-			down: p.AddLink(fmt.Sprintf("%s-cab%d-down", s.Name, ci), s.UplinkBandwidth, s.UplinkLatency, lmm.Shared),
-			backplane: p.AddLink(fmt.Sprintf("%s-cab%d-backplane", s.Name, ci),
-				s.CabinetBackplaneBandwidth, s.CabinetBackplaneLatency, lmm.Shared),
+		if ci > 0 {
+			prefix[ci] = prefix[ci-1] + s.Cabinets[ci-1]
 		}
-		for n := 0; n < count; n++ {
-			id := len(nodes)
+		p.AddLink(fmt.Sprintf("%s-cab%d-up", s.Name, ci), s.UplinkBandwidth, s.UplinkLatency, lmm.Shared)
+		p.AddLink(fmt.Sprintf("%s-cab%d-down", s.Name, ci), s.UplinkBandwidth, s.UplinkLatency, lmm.Shared)
+		p.AddLink(fmt.Sprintf("%s-cab%d-backplane", s.Name, ci),
+			s.CabinetBackplaneBandwidth, s.CabinetBackplaneLatency, lmm.Shared)
+		for ni := 0; ni < count; ni++ {
+			id := prefix[ci] + ni
 			h := p.AddHost(fmt.Sprintf("%s-%d", s.Name, id), s.NodeSpeed)
 			h.Cabinet = ci
-			nodes = append(nodes, nodeLinks{
-				up:   p.AddLink(fmt.Sprintf("%s-up-%d", s.Name, id), s.NodeLinkBandwidth, s.NodeLinkLatency, lmm.Shared),
-				down: p.AddLink(fmt.Sprintf("%s-down-%d", s.Name, id), s.NodeLinkBandwidth, s.NodeLinkLatency, lmm.Shared),
-			})
+			p.AddLink(fmt.Sprintf("%s-up-%d", s.Name, id), s.NodeLinkBandwidth, s.NodeLinkLatency, lmm.Shared)
+			p.AddLink(fmt.Sprintf("%s-down-%d", s.Name, id), s.NodeLinkBandwidth, s.NodeLinkLatency, lmm.Shared)
 		}
 	}
 
@@ -113,27 +109,7 @@ func (s ClusterSpec) Build() (*Platform, error) {
 	}
 	backbone := p.AddLink(s.Name+"-backbone", s.BackboneBandwidth, s.BackboneLatency, policy)
 
-	p.SetRouter(func(a, b *Host) Route {
-		var links []*Link
-		if a.Cabinet == b.Cabinet {
-			links = []*Link{nodes[a.ID].up, cabs[a.Cabinet].backplane, nodes[b.ID].down}
-		} else {
-			links = []*Link{
-				nodes[a.ID].up,
-				cabs[a.Cabinet].backplane,
-				cabs[a.Cabinet].up,
-				backbone,
-				cabs[b.Cabinet].down,
-				cabs[b.Cabinet].backplane,
-				nodes[b.ID].down,
-			}
-		}
-		r := Route{Links: links}
-		for _, l := range links {
-			r.Latency += l.Latency
-		}
-		return r
-	})
+	p.SetRouter(&clusterRouter{p: p, prefix: prefix, backbone: backbone.ID})
 	diameter := 3 // up, backplane, down
 	// The balanced cut of a single cabinet crosses its shared backplane;
 	// across cabinets it crosses the smaller half's uplinks, additionally
@@ -149,13 +125,64 @@ func (s ClusterSpec) Build() (*Platform, error) {
 	}
 	p.Topo = &TopoInfo{
 		Kind:  "cluster",
-		Hosts: len(nodes),
+		Hosts: n,
 		// Node up/down pairs, cabinet up/down pairs and backplanes, backbone.
-		Links:              2*len(nodes) + 3*len(s.Cabinets) + 1,
+		Links:              2*n + 3*len(s.Cabinets) + 1,
 		Diameter:           diameter,
 		BisectionBandwidth: bisection,
 	}
 	return p, nil
+}
+
+// clusterRouter is the implicit router of cluster platforms. Link IDs
+// follow the build order — per cabinet ci: cab-up, cab-down, backplane,
+// then an up/down pair per node — so every route is pure index arithmetic
+// over the cabinet prefix sums; the router state is O(cabinets) regardless
+// of node count, and nothing is stored per host pair.
+type clusterRouter struct {
+	p *Platform
+	// prefix[ci] is the number of nodes in cabinets before ci.
+	prefix []int
+	// backbone is the link ID of the second-level switch (the last link).
+	backbone int
+}
+
+// String implements fmt.Stringer for missing-route diagnostics.
+func (r *clusterRouter) String() string { return "hierarchical cluster router" }
+
+// cabBase returns the link ID of cabinet ci's up link; down and backplane
+// follow at +1 and +2.
+func (r *clusterRouter) cabBase(ci int) int { return 3*ci + 2*r.prefix[ci] }
+
+// nodeUp returns the link ID of the host's up link; its down link is +1.
+// Every link of cabinets 0..Cabinet and every node pair of ids < h.ID
+// precedes it in build order.
+func (r *clusterRouter) nodeUp(h *Host) int { return 3*(h.Cabinet+1) + 2*h.ID }
+
+// RouteInto implements Router.
+func (r *clusterRouter) RouteInto(buf []*Link, a, b *Host) Route {
+	start := len(buf)
+	link := r.p.LinkByID
+	if a.Cabinet == b.Cabinet {
+		buf = append(buf,
+			link(r.nodeUp(a)),
+			link(r.cabBase(a.Cabinet)+2), // backplane
+			link(r.nodeUp(b)+1))          // node down
+	} else {
+		buf = append(buf,
+			link(r.nodeUp(a)),
+			link(r.cabBase(a.Cabinet)+2), // source backplane
+			link(r.cabBase(a.Cabinet)),   // cabinet up
+			link(r.backbone),
+			link(r.cabBase(b.Cabinet)+1), // cabinet down
+			link(r.cabBase(b.Cabinet)+2), // destination backplane
+			link(r.nodeUp(b)+1))          // node down
+	}
+	route := Route{Links: buf}
+	for _, l := range buf[start:] {
+		route.Latency += l.Latency
+	}
+	return route
 }
 
 // SwitchHops returns the number of switches a message between the two hosts

@@ -12,11 +12,25 @@
 // <dragonfly> elements alongside <cluster>, so ReadXML/WriteXML round-trip
 // every builder's spec.
 //
-// Routing is pluggable. Hand-built platforms install explicit pair routes
-// with AddRoute; the cluster builder and the topology generators install a
-// routing function via SetRouter. Route results are memoized per ordered
-// host pair, which keeps the per-message hot path an allocation-free cache
-// hit even for computed graph routes.
+// Routing is pluggable behind the Router interface, whose single method
+// RouteInto(buf, a, b) appends the route's links into a caller-owned
+// buffer — reusing one buffer per call site makes repeat lookups
+// allocation-free, so routes are computed on demand and never stored per
+// host pair. The cluster builder and the topology generators install
+// implicit routers: closed-form functions of the host coordinates with
+// O(1) state, which is what lets a 65536-host platform route in O(hosts)
+// total memory (the former per-ordered-pair memo map was O(hosts²)).
+// Hand-built platforms install explicit pair routes with AddRoute, which
+// land in a TableRouter — the same interface, with the reverse direction
+// of a symmetric route served by iterating the forward slice backward
+// rather than materializing a copy. An expensive irregular router can be
+// walked once into a TableRouter with MaterializedRouter, which is the old
+// memoization recast as just another Router. RouterFunc adapts a bare
+// func(a, b) Route for mechanical migration.
+//
+// Host and link storage is compact: array-of-structs slabs (bulk-allocated
+// via Reserve when the builder knows its counts) addressed by dense IDs,
+// with stable *Host/*Link pointers as the public view.
 //
 // Builders that know their interconnect's structure annotate the result:
 // Platform.Topo records the family and structural metrics (consumed by the

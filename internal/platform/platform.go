@@ -2,7 +2,6 @@ package platform
 
 import (
 	"fmt"
-	"sync"
 
 	"smpigo/internal/core"
 	"smpigo/internal/lmm"
@@ -62,7 +61,9 @@ type TopoInfo struct {
 }
 
 // Route is an ordered list of links connecting two hosts, with the
-// aggregate latency precomputed.
+// aggregate latency precomputed. Routes returned by Platform.Route and
+// Router.RouteInto may share storage with the router (table routers) or
+// with a caller buffer; treat Links as read-only.
 type Route struct {
 	Links   []*Link
 	Latency core.Duration
@@ -83,33 +84,71 @@ func (r Route) Bottleneck() float64 {
 	return min
 }
 
-// Platform is a set of hosts, links, and a routing function.
+// slabSize is the default capacity of a host/link storage slab when the
+// builder gave no Reserve hint. Slabs are never reallocated once handed
+// out, so *Host/*Link handles stay stable as the platform grows.
+const slabSize = 1 << 12
+
+// Platform is a set of hosts, links, and a router.
+//
+// Hosts and links live in contiguous array-of-structs slabs — one bulk
+// allocation per Reserve call or per slabSize objects — and are addressed
+// internally by dense IDs; the *Host/*Link pointers handed to callers are
+// stable views into the slabs. A 65536-host platform is therefore a few
+// hundred bytes per host, dominated by names, with no per-object or
+// per-pair bookkeeping: routes are computed on demand by the installed
+// Router, never stored per pair.
 type Platform struct {
 	Name string
 	// Topo describes the interconnect family and structural metrics when the
 	// builder knows them; nil for hand-built platforms.
-	Topo  *TopoInfo
-	hosts []*Host
-	links []*Link
+	Topo *TopoInfo
 
-	byName map[string]*Host
-	// router computes the route between two distinct hosts. The cluster
-	// builder installs a hierarchical router, topology generators (package
-	// topology) install graph routers via SetRouter, and hand-built
-	// platforms use explicit pair routes instead.
-	router func(a, b *Host) Route
-	pairs  map[[2]int]Route
-	// routes memoizes router results per ordered host pair. Route sits on
-	// the per-message hot path, and router closures rebuild the link slice
-	// and re-sum latency on every call; the cache makes repeat lookups an
-	// allocation-free map hit. sync.Map because platforms are shared across
-	// concurrently running campaign jobs.
-	routes sync.Map // int64 (a.ID<<32 | b.ID) -> Route
+	hostSlabs [][]Host
+	linkSlabs [][]Link
+	hosts     []*Host
+	links     []*Link
+	byName    map[string]*Host
+
+	// router computes routes between distinct hosts. The cluster builder
+	// and the topology generators install implicit routers (closed-form,
+	// O(1) state); AddRoute installs (and chains in front) a TableRouter.
+	router Router
+	// table is the TableRouter AddRoute created, if any; kept so explicit
+	// pair routes keep precedence when SetRouter is called afterwards.
+	table *TableRouter
 }
 
 // New returns an empty platform.
 func New(name string) *Platform {
-	return &Platform{Name: name, byName: make(map[string]*Host), pairs: make(map[[2]int]Route)}
+	return &Platform{Name: name, byName: make(map[string]*Host)}
+}
+
+// Reserve pre-allocates storage for the given numbers of additional hosts
+// and links in one slab each. Builders that know their final counts call it
+// once up front so the whole platform lands in two bulk allocations;
+// growing past a reservation (or never reserving) falls back to fixed-size
+// slabs. Existing *Host/*Link handles remain valid either way.
+func (p *Platform) Reserve(hosts, links int) {
+	if hosts > 0 {
+		p.hostSlabs = append(p.hostSlabs, make([]Host, 0, hosts))
+		if cap(p.hosts)-len(p.hosts) < hosts {
+			grown := make([]*Host, len(p.hosts), len(p.hosts)+hosts)
+			copy(grown, p.hosts)
+			p.hosts = grown
+		}
+		if len(p.byName) == 0 {
+			p.byName = make(map[string]*Host, hosts)
+		}
+	}
+	if links > 0 {
+		p.linkSlabs = append(p.linkSlabs, make([]Link, 0, links))
+		if cap(p.links)-len(p.links) < links {
+			grown := make([]*Link, len(p.links), len(p.links)+links)
+			copy(grown, p.links)
+			p.links = grown
+		}
+	}
 }
 
 // AddHost creates a host. Host names must be unique.
@@ -117,7 +156,12 @@ func (p *Platform) AddHost(name string, speed float64) *Host {
 	if _, dup := p.byName[name]; dup {
 		panic(fmt.Sprintf("platform: duplicate host %q", name))
 	}
-	h := &Host{ID: len(p.hosts), Name: name, Speed: speed, Cabinet: -1}
+	if n := len(p.hostSlabs); n == 0 || len(p.hostSlabs[n-1]) == cap(p.hostSlabs[n-1]) {
+		p.hostSlabs = append(p.hostSlabs, make([]Host, 0, slabSize))
+	}
+	slab := &p.hostSlabs[len(p.hostSlabs)-1]
+	*slab = append(*slab, Host{ID: len(p.hosts), Name: name, Speed: speed, Cabinet: -1})
+	h := &(*slab)[len(*slab)-1]
 	p.hosts = append(p.hosts, h)
 	p.byName[name] = h
 	return h
@@ -125,29 +169,29 @@ func (p *Platform) AddHost(name string, speed float64) *Host {
 
 // AddLink creates a link.
 func (p *Platform) AddLink(name string, bandwidth float64, latency core.Duration, policy lmm.SharingPolicy) *Link {
-	l := &Link{ID: len(p.links), Name: name, Bandwidth: bandwidth, Latency: latency, Policy: policy}
+	if n := len(p.linkSlabs); n == 0 || len(p.linkSlabs[n-1]) == cap(p.linkSlabs[n-1]) {
+		p.linkSlabs = append(p.linkSlabs, make([]Link, 0, slabSize))
+	}
+	slab := &p.linkSlabs[len(p.linkSlabs)-1]
+	*slab = append(*slab, Link{ID: len(p.links), Name: name, Bandwidth: bandwidth, Latency: latency, Policy: policy})
+	l := &(*slab)[len(*slab)-1]
 	p.links = append(p.links, l)
 	return l
 }
 
-// AddRoute installs a symmetric route between two hosts (used by hand-built
-// platforms; cluster platforms use the built-in hierarchical router).
+// AddRoute installs a symmetric explicit route between two hosts (used by
+// hand-built platforms; generated platforms install implicit routers). The
+// routes live in a TableRouter that is created on first use and takes
+// precedence over any router installed with SetRouter, which serves as its
+// fallback. Only the forward link slice is stored; the reverse direction
+// iterates it backward.
 func (p *Platform) AddRoute(a, b *Host, links []*Link) {
-	r := Route{Links: links}
-	for _, l := range links {
-		r.Latency += l.Latency
+	if p.table == nil {
+		p.table = NewTableRouter(p.Name)
+		p.table.Fallback = p.router
+		p.router = p.table
 	}
-	p.pairs[[2]int{a.ID, b.ID}] = r
-	rev := Route{Links: reversed(links), Latency: r.Latency}
-	p.pairs[[2]int{b.ID, a.ID}] = rev
-}
-
-func reversed(links []*Link) []*Link {
-	out := make([]*Link, len(links))
-	for i, l := range links {
-		out[len(links)-1-i] = l
-	}
-	return out
+	p.table.AddSymmetric(a, b, links)
 }
 
 // Hosts returns all hosts in ID order.
@@ -162,37 +206,66 @@ func (p *Platform) Host(name string) *Host { return p.byName[name] }
 // HostByID returns the host with the given dense ID.
 func (p *Platform) HostByID(id int) *Host { return p.hosts[id] }
 
-// SetRouter installs the routing function computing the route between two
-// distinct hosts. Results are memoized per host pair, so the function may
-// allocate freely; it must be deterministic (same pair, same route) and is
-// only consulted for pairs without an explicit AddRoute entry. Installing
-// a router drops routes memoized from any previous one. SetRouter is not
-// safe to call concurrently with Route.
-func (p *Platform) SetRouter(router func(a, b *Host) Route) {
-	p.router = router
-	p.routes.Clear()
+// LinkByID returns the link with the given dense ID. Implicit routers use
+// it to turn closed-form link indices into link handles.
+func (p *Platform) LinkByID(id int) *Link { return p.links[id] }
+
+// SetRouter installs the router computing routes between distinct hosts.
+// The router must be deterministic (same pair, same route) and read-only
+// once the platform is in use; it is only consulted for pairs without an
+// explicit AddRoute entry (those live in a TableRouter chained in front).
+// Routes are computed on every lookup — implicit routers are cheap enough
+// that nothing is memoized; wrap an expensive irregular router with
+// MaterializedRouter to trade O(hosts²) memory back for lookup speed.
+// SetRouter is not safe to call concurrently with Route.
+func (p *Platform) SetRouter(r Router) {
+	if p.table != nil && p.table != r {
+		p.table.Fallback = r
+		return
+	}
+	p.router = r
 }
 
-// Route returns the route from a to b. Routing a host to itself returns an
-// empty route (loopback communications are instantaneous at the network
-// level; memory-copy costs belong to the MPI layer). Router-computed routes
-// are cached per ordered pair; Route is safe for concurrent use once the
-// platform is built.
+// SetRouterFunc installs a bare routing function through the RouterFunc
+// adapter.
+//
+// Deprecated: implement Router and call SetRouter instead. A bare function
+// must build a fresh Route per call, so it cannot serve the zero-allocation
+// RouteInto contract; RouterFunc exists for mechanical migration only.
+func (p *Platform) SetRouterFunc(f func(a, b *Host) Route) { p.SetRouter(RouterFunc(f)) }
+
+// Router returns the installed router: the TableRouter when explicit
+// routes were added (with any SetRouter router as its fallback), the
+// SetRouter router otherwise, or nil.
+func (p *Platform) Router() Router { return p.router }
+
+// RouteInto resolves the route from a to b, appending its links to buf —
+// normally the empty prefix of a caller-owned buffer — and returning the
+// route built on the appended slice. Reusing one buffer per call site
+// makes repeat lookups allocation-free. Routing a host to itself returns
+// an empty route (loopback communications are instantaneous at the network
+// level; memory-copy costs belong to the MPI layer). Safe for concurrent
+// use once the platform is built.
+func (p *Platform) RouteInto(buf []*Link, a, b *Host) Route {
+	if a == b {
+		return Route{Links: buf}
+	}
+	if p.router == nil {
+		panic(fmt.Sprintf("platform %q: no router installed, no route between %q and %q", p.Name, a.Name, b.Name))
+	}
+	return p.router.RouteInto(buf, a, b)
+}
+
+// Route resolves the route from a to b into a fresh slice (sized from the
+// topology diameter when known). Callers that resolve routes in a loop and
+// do not retain them should prefer RouteInto with a reused buffer.
 func (p *Platform) Route(a, b *Host) Route {
 	if a == b {
 		return Route{}
 	}
-	if r, ok := p.pairs[[2]int{a.ID, b.ID}]; ok {
-		return r
+	var buf []*Link
+	if p.Topo != nil && p.Topo.Diameter > 0 {
+		buf = make([]*Link, 0, p.Topo.Diameter)
 	}
-	if p.router == nil {
-		panic(fmt.Sprintf("platform: no route between %q and %q", a.Name, b.Name))
-	}
-	key := int64(a.ID)<<32 | int64(b.ID)
-	if r, ok := p.routes.Load(key); ok {
-		return r.(Route)
-	}
-	r := p.router(a, b)
-	p.routes.Store(key, r)
-	return r
+	return p.RouteInto(buf, a, b)
 }

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -246,15 +247,17 @@ func TestXMLErrors(t *testing.T) {
 	}
 }
 
-// TestRouteMemoization checks that router-computed routes are cached: the
-// installed router must only ever be consulted once per ordered host pair.
-func TestRouteMemoization(t *testing.T) {
-	p := New("memo")
+// TestRouterFuncAdapter checks the deprecated bare-function migration
+// path: SetRouterFunc wraps the function in a RouterFunc, routes flow
+// through it on every lookup (nothing is memoized anymore), and swapping
+// routers takes effect immediately.
+func TestRouterFuncAdapter(t *testing.T) {
+	p := New("adapter")
 	a := p.AddHost("a", 1e9)
 	b := p.AddHost("b", 1e9)
 	l := p.AddLink("l", 1e9, core.Microsecond, lmm.Shared)
 	calls := 0
-	p.SetRouter(func(x, y *Host) Route {
+	p.SetRouterFunc(func(x, y *Host) Route {
 		calls++
 		return Route{Links: []*Link{l}, Latency: l.Latency}
 	})
@@ -264,16 +267,140 @@ func TestRouteMemoization(t *testing.T) {
 		}
 		p.Route(b, a)
 	}
-	if calls != 2 {
-		t.Errorf("router called %d times, want 2 (one per ordered pair)", calls)
+	if calls != 20 {
+		t.Errorf("router called %d times, want 20 (implicit routing computes every lookup)", calls)
 	}
-	// Installing a new router must drop the old router's memoized routes.
+	// The adapter must also honor a caller buffer.
+	buf := make([]*Link, 0, 4)
+	if got := p.RouteInto(buf, a, b); len(got.Links) != 1 || got.Links[0] != l || &got.Links[0] != &buf[:1][0] {
+		t.Errorf("RouteInto through adapter did not append into the caller buffer")
+	}
+	// Installing a new router takes effect on the next lookup.
 	l2 := p.AddLink("l2", 1e9, core.Microsecond, lmm.Shared)
-	p.SetRouter(func(x, y *Host) Route {
+	p.SetRouter(RouterFunc(func(x, y *Host) Route {
 		return Route{Links: []*Link{l2, l2}, Latency: 2 * l2.Latency}
-	})
+	}))
 	if got := p.Route(a, b); len(got.Links) != 2 {
 		t.Errorf("stale route served after SetRouter: %v", got)
+	}
+}
+
+// TestTableRouterReverseView checks the symmetric-route storage contract:
+// one stored slice serves both directions, the reverse by backward
+// iteration into the caller's buffer, with no materialized copy.
+func TestTableRouterReverseView(t *testing.T) {
+	p := New("table")
+	a := p.AddHost("a", 1e9)
+	b := p.AddHost("b", 1e9)
+	l1 := p.AddLink("l1", 1e9, core.Microsecond, lmm.Shared)
+	l2 := p.AddLink("l2", 1e9, core.Microsecond, lmm.Shared)
+	p.AddRoute(a, b, []*Link{l1, l2})
+
+	tr, ok := p.Router().(*TableRouter)
+	if !ok {
+		t.Fatalf("AddRoute should install a TableRouter, got %T", p.Router())
+	}
+	if tr.Len() != 2 {
+		t.Errorf("table has %d directed routes, want 2", tr.Len())
+	}
+	buf := make([]*Link, 0, 8)
+	rev := p.RouteInto(buf[:0], b, a)
+	if len(rev.Links) != 2 || rev.Links[0] != l2 || rev.Links[1] != l1 {
+		t.Errorf("reverse route wrong: %v", rev.Links)
+	}
+	// Reverse lookups into a reused buffer must not allocate: the stored
+	// forward slice is iterated backward, never copied.
+	allocs := testing.AllocsPerRun(100, func() {
+		p.RouteInto(buf[:0], b, a)
+		p.RouteInto(buf[:0], a, b)
+	})
+	if allocs != 0 {
+		t.Errorf("RouteInto with reused buffer allocates %v times per lookup pair, want 0", allocs)
+	}
+}
+
+// TestMissingRoutePanicNamesRouter checks the one-code-path diagnostic:
+// a pair missing from a TableRouter with no fallback panics naming the
+// table that failed, not a generic message.
+func TestMissingRoutePanicNamesRouter(t *testing.T) {
+	p := New("gap")
+	a := p.AddHost("a", 1e9)
+	b := p.AddHost("b", 1e9)
+	c := p.AddHost("c", 1e9)
+	l := p.AddLink("l", 1e9, core.Microsecond, lmm.Shared)
+	p.AddRoute(a, b, []*Link{l})
+	defer func() {
+		msg := recover()
+		if msg == nil {
+			t.Fatal("missing table route should panic")
+		}
+		if s := fmt.Sprint(msg); !strings.Contains(s, "table router") || !strings.Contains(s, "gap") {
+			t.Errorf("panic %q does not name the failing router", s)
+		}
+	}()
+	p.Route(a, c)
+}
+
+// TestRouteIntoZeroAlloc checks the hot-path contract of the implicit
+// cluster router: resolving routes into a reused buffer performs no
+// allocations at all.
+func TestRouteIntoZeroAlloc(t *testing.T) {
+	p, err := Griffon().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := p.HostByID(0), p.HostByID(1), p.HostByID(40)
+	buf := make([]*Link, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		if r := p.RouteInto(buf[:0], a, b); len(r.Links) != 3 {
+			t.Fatal("bad intra-cabinet route")
+		}
+		if r := p.RouteInto(buf[:0], a, c); len(r.Links) != 7 {
+			t.Fatal("bad cross-cabinet route")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RouteInto allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestMaterializedRouter checks that walking an implicit router into a
+// TableRouter reproduces its routes exactly, stores symmetric pairs once
+// (two directed entries per unordered pair, shared slice), and serves them
+// back link-for-link.
+func TestMaterializedRouter(t *testing.T) {
+	p, err := Griffon().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := p.Hosts()[:12]
+	sub := New("sub") // small platform sharing griffon's links
+	for _, h := range hosts {
+		sub.AddHost(h.Name, h.Speed).Cabinet = h.Cabinet
+	}
+	impl := p.Router()
+	tr := MaterializedRouter(sub, RouterFunc(func(a, b *Host) Route {
+		return impl.RouteInto(nil, p.HostByID(a.ID), p.HostByID(b.ID))
+	}))
+	if want := len(hosts) * (len(hosts) - 1); tr.Len() != want {
+		t.Errorf("materialized table has %d directed routes, want %d", tr.Len(), want)
+	}
+	for _, a := range sub.Hosts() {
+		for _, b := range sub.Hosts() {
+			if a == b {
+				continue
+			}
+			got := tr.RouteInto(nil, a, b)
+			want := p.Route(p.HostByID(a.ID), p.HostByID(b.ID))
+			if len(got.Links) != len(want.Links) || got.Latency != want.Latency {
+				t.Fatalf("materialized route %s->%s differs: %d links vs %d", a.Name, b.Name, len(got.Links), len(want.Links))
+			}
+			for i := range got.Links {
+				if got.Links[i] != want.Links[i] {
+					t.Fatalf("materialized route %s->%s link %d differs", a.Name, b.Name, i)
+				}
+			}
+		}
 	}
 }
 

@@ -2,11 +2,14 @@ package platform
 
 import "testing"
 
-// BenchmarkRoute measures Platform.Route on the per-message hot path: every
-// simulated point-to-point transfer resolves a route, so the cost of the
-// hierarchical router (and of the route cache in front of it) multiplies
-// into every experiment. The cross-cabinet case is the expensive one: the
-// uncached router allocated a 7-link slice and re-summed latency per call.
+// BenchmarkRoute measures route resolution on the per-message hot path:
+// every simulated point-to-point transfer resolves a route, so the cost of
+// the implicit hierarchical router multiplies into every experiment. There
+// is no per-pair cache anymore — the router recomputes the route from the
+// cabinet prefix sums on every call — so the interesting quantities are
+// the closed-form compute cost (RouteInto with a reused buffer: zero
+// allocations) and the convenience-path cost (Route: one exact-size slice
+// per call).
 func BenchmarkRoute(b *testing.B) {
 	p, err := Griffon().Build()
 	if err != nil {
@@ -17,14 +20,26 @@ func BenchmarkRoute(b *testing.B) {
 
 	b.Run("intra-cabinet", func(b *testing.B) {
 		b.ReportAllocs()
+		buf := make([]*Link, 0, 8)
 		for i := 0; i < b.N; i++ {
-			r := p.Route(intra[0], intra[1])
+			r := p.RouteInto(buf[:0], intra[0], intra[1])
 			if len(r.Links) != 3 {
 				b.Fatal("bad route")
 			}
 		}
 	})
 	b.Run("cross-cabinet", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]*Link, 0, 8)
+		for i := 0; i < b.N; i++ {
+			r := p.RouteInto(buf[:0], cross[0], cross[1])
+			if len(r.Links) != 7 {
+				b.Fatal("bad route")
+			}
+		}
+	})
+	// The allocating convenience path retained by flows and messages.
+	b.Run("cross-cabinet-alloc", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			r := p.Route(cross[0], cross[1])
@@ -38,11 +53,12 @@ func BenchmarkRoute(b *testing.B) {
 	b.Run("all-pairs", func(b *testing.B) {
 		b.ReportAllocs()
 		hosts := p.Hosts()[:32]
+		buf := make([]*Link, 0, 8)
 		for i := 0; i < b.N; i++ {
 			for _, a := range hosts {
 				for _, c := range hosts {
 					if a != c {
-						p.Route(a, c)
+						p.RouteInto(buf[:0], a, c)
 					}
 				}
 			}

@@ -81,79 +81,131 @@ func (s DragonflySpec) Build() (*platform.Platform, error) {
 	p := platform.New(s.Name)
 	g, a, ph := s.Groups, s.RoutersPerGroup, s.HostsPerRouter
 	n := s.Hosts()
-	hostUp := make([]*platform.Link, n)
-	hostDown := make([]*platform.Link, n)
+	p.Reserve(n, 2*n+g*a*(a-1)+g*(g-1))
 	for i := 0; i < n; i++ {
 		host := p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
 		// The router is the lowest-level group: its hosts reach each other
 		// in two links; placement mappers lay ranks out by it.
 		host.Cabinet = i / ph
-		hostUp[i] = p.AddLink(fmt.Sprintf("%s-%d-up", s.Name, i),
+		p.AddLink(fmt.Sprintf("%s-%d-up", s.Name, i),
 			s.HostLinkBandwidth, s.HostLinkLatency, lmm.Shared)
-		hostDown[i] = p.AddLink(fmt.Sprintf("%s-%d-down", s.Name, i),
+		p.AddLink(fmt.Sprintf("%s-%d-down", s.Name, i),
 			s.HostLinkBandwidth, s.HostLinkLatency, lmm.Shared)
 	}
-	// local[gi][r1][r2] is the directed link r1 -> r2 inside group gi.
-	local := make([][][]*platform.Link, g)
+	// Directed local links r1 -> r2 inside each group, in (group, r1, r2)
+	// order; a*(a-1) links per group.
 	for gi := 0; gi < g; gi++ {
-		local[gi] = make([][]*platform.Link, a)
 		for r1 := 0; r1 < a; r1++ {
-			local[gi][r1] = make([]*platform.Link, a)
 			for r2 := 0; r2 < a; r2++ {
 				if r1 == r2 {
 					continue
 				}
-				local[gi][r1][r2] = p.AddLink(fmt.Sprintf("%s-g%d-r%d-r%d", s.Name, gi, r1, r2),
+				p.AddLink(fmt.Sprintf("%s-g%d-r%d-r%d", s.Name, gi, r1, r2),
 					s.LocalBandwidth, s.LocalLatency, lmm.Shared)
 			}
 		}
 	}
-	// global[gi][gj] is the directed link gi -> gj (gi != gj).
-	global := make([][]*platform.Link, g)
-	for gi := 0; gi < g; gi++ {
-		global[gi] = make([]*platform.Link, g)
-	}
+	// Directed global links per unordered group pair (gi < gj), forward
+	// then backward, pairs in (gi, gj) lexicographic order.
 	for gi := 0; gi < g; gi++ {
 		for gj := gi + 1; gj < g; gj++ {
-			global[gi][gj] = p.AddLink(fmt.Sprintf("%s-g%d-g%d", s.Name, gi, gj),
+			p.AddLink(fmt.Sprintf("%s-g%d-g%d", s.Name, gi, gj),
 				s.GlobalBandwidth, s.GlobalLatency, lmm.Shared)
-			global[gj][gi] = p.AddLink(fmt.Sprintf("%s-g%d-g%d", s.Name, gj, gi),
+			p.AddLink(fmt.Sprintf("%s-g%d-g%d", s.Name, gj, gi),
 				s.GlobalBandwidth, s.GlobalLatency, lmm.Shared)
 		}
 	}
 
-	p.SetRouter(func(ha, hb *platform.Host) platform.Route {
-		src, dst := ha.ID, hb.ID
-		srcRouter, dstRouter := src/ph, dst/ph
-		srcGroup, dstGroup := srcRouter/a, dstRouter/a
-		sr, dr := srcRouter%a, dstRouter%a
-
-		links := []*platform.Link{hostUp[src]}
-		switch {
-		case srcRouter == dstRouter:
-			// Same router: up and straight back down.
-		case srcGroup == dstGroup:
-			links = append(links, local[srcGroup][sr][dr])
-		default:
-			gw := s.gateway(srcGroup, dstGroup)
-			if sr != gw {
-				links = append(links, local[srcGroup][sr][gw])
-			}
-			links = append(links, global[srcGroup][dstGroup])
-			gw = s.gateway(dstGroup, srcGroup)
-			if gw != dr {
-				links = append(links, local[dstGroup][gw][dr])
-			}
-		}
-		links = append(links, hostDown[dst])
-		r := platform.Route{Links: links}
-		for _, l := range links {
-			r.Latency += l.Latency
-		}
-		return r
+	p.SetRouter(&dragonflyRouter{
+		p:          p,
+		groups:     g,
+		routers:    a,
+		hostsPer:   ph,
+		localBase:  2 * n,
+		globalBase: 2*n + g*a*(a-1),
 	})
 	p.Topo = topoInfo("dragonfly", s.Metrics())
 	return p, nil
+}
+
+// dragonflyRouter routes minimal paths implicitly: every link ID is a
+// closed-form function of the endpoint coordinates and the build-order
+// bases, so the router state is five integers — O(1) in the host count.
+type dragonflyRouter struct {
+	p                     *platform.Platform
+	groups, routers       int
+	hostsPer              int
+	localBase, globalBase int
+}
+
+// String implements fmt.Stringer for missing-route diagnostics.
+func (r *dragonflyRouter) String() string { return "dragonfly minimal router" }
+
+// localID returns the link ID of the directed local link r1 -> r2 in group
+// gi: locals were created in (group, r1, r2) order with the r1 == r2 slot
+// skipped.
+func (r *dragonflyRouter) localID(gi, r1, r2 int) int {
+	idx := r2
+	if r2 > r1 {
+		idx--
+	}
+	return r.localBase + gi*r.routers*(r.routers-1) + r1*(r.routers-1) + idx
+}
+
+// globalID returns the link ID of the directed global link gi -> gj:
+// unordered pairs were created in lexicographic order, forward direction
+// (lo -> hi) first.
+func (r *dragonflyRouter) globalID(gi, gj int) int {
+	lo, hi, back := gi, gj, 0
+	if gi > gj {
+		lo, hi, back = gj, gi, 1
+	}
+	pair := lo*(r.groups-1) - lo*(lo-1)/2 + hi - lo - 1
+	return r.globalBase + 2*pair + back
+}
+
+// gateway returns the router index in group g holding the global cable to
+// group peer (round-robin deal, mirroring DragonflySpec.gateway).
+func (r *dragonflyRouter) gateway(g, peer int) int {
+	idx := peer
+	if peer > g {
+		idx--
+	}
+	return idx % r.routers
+}
+
+// RouteInto implements platform.Router.
+func (r *dragonflyRouter) RouteInto(buf []*platform.Link, ha, hb *platform.Host) platform.Route {
+	start := len(buf)
+	src, dst := ha.ID, hb.ID
+	srcRouter, dstRouter := src/r.hostsPer, dst/r.hostsPer
+	srcGroup, dstGroup := srcRouter/r.routers, dstRouter/r.routers
+	sr, dr := srcRouter%r.routers, dstRouter%r.routers
+
+	link := r.p.LinkByID
+	buf = append(buf, link(2*src)) // host up
+	switch {
+	case srcRouter == dstRouter:
+		// Same router: up and straight back down.
+	case srcGroup == dstGroup:
+		buf = append(buf, link(r.localID(srcGroup, sr, dr)))
+	default:
+		gw := r.gateway(srcGroup, dstGroup)
+		if sr != gw {
+			buf = append(buf, link(r.localID(srcGroup, sr, gw)))
+		}
+		buf = append(buf, link(r.globalID(srcGroup, dstGroup)))
+		gw = r.gateway(dstGroup, srcGroup)
+		if gw != dr {
+			buf = append(buf, link(r.localID(dstGroup, gw, dr)))
+		}
+	}
+	buf = append(buf, link(2*dst+1)) // host down
+	route := platform.Route{Links: buf}
+	for _, l := range buf[start:] {
+		route.Latency += l.Latency
+	}
+	return route
 }
 
 // Metrics implements Spec. The bisection cut splits the groups into halves;

@@ -76,7 +76,8 @@ func (s FatTreeSpec) products() (prodDown, prodUp []int) {
 }
 
 // Build implements platform.Spec: it emits one host per leaf, a full-duplex
-// link pair per child-parent cable, and installs the D-mod-k router.
+// link pair per child-parent cable, and installs the implicit D-mod-k
+// router.
 //
 // Nodes at level l are labeled (a, b): a indexes the subtree position
 // (a = hostID / prodDown[l] for the subtree holding hostID) and b the
@@ -90,67 +91,103 @@ func (s FatTreeSpec) Build() (*platform.Platform, error) {
 	h := len(s.Down)
 	prodDown, prodUp := s.products()
 	n := prodDown[h]
+
+	// levelBase[l] is the link ID of the first level-l link: links are
+	// created level by level, child by child, parent port by parent port,
+	// up link then down link, so the router can recover any link ID from
+	// (level, child, port) without storing link tables.
+	levelBase := make([]int, h+2)
+	for l := 1; l <= h; l++ {
+		children := (n / prodDown[l-1]) * prodUp[l-1]
+		levelBase[l+1] = levelBase[l] + 2*children*s.Up[l-1]
+	}
+	p.Reserve(n, levelBase[h+1])
+
 	for i := 0; i < n; i++ {
 		host := p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
 		// The leaf switch is the lowest-level group: placement mappers use
 		// it to pack ranks under (or spread them across) leaf switches.
 		host.Cabinet = i / s.Down[0]
 	}
-
-	// up[l][child][j] / down[l][child][j]: the directed links between the
-	// child node indexed a*prodUp[l-1]+b at level l-1 and its j-th parent.
-	up := make([][][]*platform.Link, h+1)
-	down := make([][][]*platform.Link, h+1)
 	for l := 1; l <= h; l++ {
 		children := (n / prodDown[l-1]) * prodUp[l-1]
-		up[l] = make([][]*platform.Link, children)
-		down[l] = make([][]*platform.Link, children)
 		for c := 0; c < children; c++ {
-			up[l][c] = make([]*platform.Link, s.Up[l-1])
-			down[l][c] = make([]*platform.Link, s.Up[l-1])
 			for j := 0; j < s.Up[l-1]; j++ {
 				base := fmt.Sprintf("%s-l%d-c%d-p%d", s.Name, l, c, j)
-				up[l][c][j] = p.AddLink(base+"-up", s.LinkBandwidth, s.LinkLatency, lmm.Shared)
-				down[l][c][j] = p.AddLink(base+"-down", s.LinkBandwidth, s.LinkLatency, lmm.Shared)
+				p.AddLink(base+"-up", s.LinkBandwidth, s.LinkLatency, lmm.Shared)
+				p.AddLink(base+"-down", s.LinkBandwidth, s.LinkLatency, lmm.Shared)
 			}
 		}
 	}
 
-	p.SetRouter(func(a, b *platform.Host) platform.Route {
-		src, dst := a.ID, b.ID
-		// Nearest common ancestor level: the first level whose subtrees
-		// contain both hosts.
-		top := 1
-		for src/prodDown[top] != dst/prodDown[top] {
-			top++
-		}
-		links := make([]*platform.Link, 0, 2*top)
-		// Ascend, choosing the redundant parent by the destination's digit
-		// at each level (D-mod-k): traffic to one host always converges
-		// through the same switch copies.
-		ai, bi := src, 0
-		for l := 1; l <= top; l++ {
-			j := (dst / prodUp[l-1]) % s.Up[l-1]
-			links = append(links, up[l][ai*prodUp[l-1]+bi][j])
-			bi = bi*s.Up[l-1] + j
-			ai /= s.Down[l-1]
-		}
-		// Descend: the downward path from the chosen ancestor copy to the
-		// destination is unique.
-		for l := top; l >= 1; l-- {
-			j := bi % s.Up[l-1]
-			bi /= s.Up[l-1]
-			child := (dst/prodDown[l-1])*prodUp[l-1] + bi
-			links = append(links, down[l][child][j])
-		}
-		r := platform.Route{Links: links}
-		for _, l := range links {
-			r.Latency += l.Latency
-		}
-		return r
+	p.SetRouter(&fatTreeRouter{
+		p:         p,
+		up:        append([]int(nil), s.Up...),
+		down:      append([]int(nil), s.Down...),
+		prodDown:  prodDown,
+		prodUp:    prodUp,
+		levelBase: levelBase,
 	})
 	p.Topo = topoInfo("fattree", s.Metrics())
 	return p, nil
+}
+
+// fatTreeRouter routes D-mod-k up/down paths implicitly: every link ID is
+// a closed-form function of the endpoint host IDs and the per-level
+// products, so the router stores a few integer slices of length h — O(1)
+// in the host count — and nothing per pair or per link.
+type fatTreeRouter struct {
+	p        *platform.Platform
+	up, down []int
+	// prodDown[l] is the subtree size below level l; prodUp[l] the number
+	// of redundant copies of a level-l node (see FatTreeSpec.products).
+	prodDown, prodUp []int
+	// levelBase[l] is the link ID of the first level-l link.
+	levelBase []int
+}
+
+// String implements fmt.Stringer for missing-route diagnostics.
+func (r *fatTreeRouter) String() string { return "fattree D-mod-k router" }
+
+// upLink returns the link ID of the up link from child c at level l-1 to
+// its j-th redundant parent; the paired down link is +1.
+func (r *fatTreeRouter) upLink(l, c, j int) int {
+	return r.levelBase[l] + 2*(c*r.up[l-1]+j)
+}
+
+// RouteInto implements platform.Router.
+func (r *fatTreeRouter) RouteInto(buf []*platform.Link, a, b *platform.Host) platform.Route {
+	start := len(buf)
+	src, dst := a.ID, b.ID
+	// Nearest common ancestor level: the first level whose subtrees
+	// contain both hosts.
+	top := 1
+	for src/r.prodDown[top] != dst/r.prodDown[top] {
+		top++
+	}
+	// Ascend, choosing the redundant parent by the destination's digit
+	// at each level (D-mod-k): traffic to one host always converges
+	// through the same switch copies.
+	ai, bi := src, 0
+	for l := 1; l <= top; l++ {
+		j := (dst / r.prodUp[l-1]) % r.up[l-1]
+		buf = append(buf, r.p.LinkByID(r.upLink(l, ai*r.prodUp[l-1]+bi, j)))
+		bi = bi*r.up[l-1] + j
+		ai /= r.down[l-1]
+	}
+	// Descend: the downward path from the chosen ancestor copy to the
+	// destination is unique.
+	for l := top; l >= 1; l-- {
+		j := bi % r.up[l-1]
+		bi /= r.up[l-1]
+		child := (dst/r.prodDown[l-1])*r.prodUp[l-1] + bi
+		buf = append(buf, r.p.LinkByID(r.upLink(l, child, j)+1))
+	}
+	route := platform.Route{Links: buf}
+	for _, l := range buf[start:] {
+		route.Latency += l.Latency
+	}
+	return route
 }
 
 // Metrics implements Spec. The bisection cut splits the tree at the top

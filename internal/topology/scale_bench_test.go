@@ -1,0 +1,218 @@
+package topology_test
+
+// Scale benchmarks: the numbers behind BENCH_scale.json and the Router API
+// redesign's acceptance criterion — a 65536-host dragonfly must build and
+// route in O(hosts) total memory. The former per-ordered-pair route memo
+// made 64k hosts unreachable (4.3 billion map entries just for the keys);
+// the implicit routers store O(1) state, so platform memory is the host and
+// link slabs plus names, which the route sub-benchmark reports as a gated
+// bytes/host metric measured around the build.
+//
+// Two sub-benchmarks per shape:
+//
+//   - route: repeat RouteInto over a fixed pseudo-random pair sample with a
+//     reused buffer — the per-message closed-form routing cost (zero
+//     allocations) at scale;
+//   - event: a live kernel churning one in-flight flow per router over
+//     2048 routers (neighbor traffic inside each router, so LMM components
+//     stay router-sized) — the per-event simulation cost on a platform this
+//     large.
+//
+// The 65k shape is skipped under -short: CI's blocking gate runs the 16k
+// numbers, the nightly workflow runs the full file.
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"smpigo/internal/core"
+	"smpigo/internal/platform"
+	"smpigo/internal/simix"
+	"smpigo/internal/surf"
+	"smpigo/internal/topology"
+)
+
+const (
+	// 32 groups x 16 routers x 32 hosts = 16384 hosts, 41440 links.
+	shape16k = "dragonfly:32x16x32"
+	// 64 groups x 32 routers x 32 hosts = 65536 hosts, 198592 links.
+	shape65k = "dragonfly:64x32x32"
+)
+
+// buildMeasured builds the shape and returns it with the live heap bytes it
+// retains per host (GC'd before and after, so transient build garbage does
+// not count).
+func buildMeasured(tb testing.TB, shape string) (*platform.Platform, float64) {
+	tb.Helper()
+	spec, err := topology.ParseSpec(shape)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	plat, err := spec.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	perHost := float64(after.HeapAlloc-before.HeapAlloc) / float64(len(plat.Hosts()))
+	return plat, perHost
+}
+
+func benchScaleRoute(b *testing.B, shape string) {
+	plat, perHost := buildMeasured(b, shape)
+	hosts := plat.Hosts()
+	// A fixed sample of pairs, drawn once: the benchmark times routing, not
+	// the RNG. Uniform pairs are dominated by the longest case (local hop,
+	// global hop, local hop), which is the right thing to gate.
+	rng := rand.New(rand.NewSource(3))
+	pairs := make([][2]*platform.Host, 4096)
+	for i := range pairs {
+		a := rng.Intn(len(hosts))
+		c := rng.Intn(len(hosts) - 1)
+		if c >= a {
+			c++
+		}
+		pairs[i] = [2]*platform.Host{hosts[a], hosts[c]}
+	}
+	buf := make([]*platform.Link, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		r := plat.RouteInto(buf[:0], p[0], p[1])
+		if len(r.Links) == 0 {
+			b.Fatal("empty route")
+		}
+	}
+	// After the loop: ResetTimer discards user metrics reported before it.
+	b.ReportMetric(perHost, "bytes/host")
+}
+
+// benchScaleEvent churns one in-flight flow per sampled router for b.N
+// completion events: each slot streams to the next host under the same
+// router, so every LMM component stays router-sized and the measurement
+// isolates the event path at 16k/65k-host platform scale.
+func benchScaleEvent(b *testing.B, shape string) {
+	plat, _ := buildMeasured(b, shape)
+	hosts := plat.Hosts()
+	const hostsPerRouter = 32 // both scale shapes use 32 hosts per router
+	routers := len(hosts) / hostsPerRouter
+	population := 2048
+	if routers < population {
+		population = routers
+	}
+	stride := routers / population
+
+	k := simix.New()
+	n := surf.NewNetwork(k, surf.Ideal())
+	k.AddModel(n)
+	rng := rand.New(rand.NewSource(11))
+
+	events := 0
+	var pending []int
+	wake := simix.NewFuture()
+	start := func(slot int) {
+		base := slot * stride * hostsPerRouter
+		src := hosts[base]
+		dst := hosts[base+1]
+		f := simix.NewFuture()
+		n.StartFlow(plat.Route(src, dst), 256*core.KiB+rng.Int63n(256*core.KiB), f)
+		k.OnFulfill(f, func(any) {
+			events++
+			pending = append(pending, slot)
+			k.Fulfill(wake, nil)
+		})
+	}
+	k.Spawn("driver", func(p *simix.Proc) {
+		for i := 0; i < population; i++ {
+			start(i)
+		}
+		for events < b.N {
+			p.Wait(wake)
+			wake = simix.NewFuture()
+			slots := pending
+			pending = pending[:0]
+			for _, slot := range slots {
+				start(slot)
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScale is the BENCH_scale.json gate: route cost and platform
+// bytes/host at 16k and 65k hosts plus the live per-event cost. The 65k
+// pair only runs in full (nightly) mode.
+func BenchmarkScale(b *testing.B) {
+	b.Run("dragonfly16k/route", func(b *testing.B) { benchScaleRoute(b, shape16k) })
+	b.Run("dragonfly16k/event", func(b *testing.B) { benchScaleEvent(b, shape16k) })
+	b.Run("dragonfly65k/route", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("65k shape: nightly only")
+		}
+		benchScaleRoute(b, shape65k)
+	})
+	b.Run("dragonfly65k/event", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("65k shape: nightly only")
+		}
+		benchScaleEvent(b, shape65k)
+	})
+}
+
+// TestScale65kDragonflyMemory is the acceptance test of the redesign: the
+// 65536-host dragonfly builds within a generous linear memory budget (the
+// old memo map would blow past it after a fraction of the pairs) and runs a
+// full neighbor-traffic wave — one flow per host, every route resolved
+// implicitly — to completion.
+func TestScale65kDragonflyMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("65k-host build: skipped in -short runs (covered nightly)")
+	}
+	plat, perHost := buildMeasured(t, shape65k)
+	hosts := plat.Hosts()
+	if len(hosts) != 65536 {
+		t.Fatalf("hosts = %d, want 65536", len(hosts))
+	}
+	const budget = 4096 // bytes/host; measured ~1k, old memo map needed O(hosts) each
+	if perHost > budget {
+		t.Fatalf("platform retains %.0f bytes/host, budget %d — routing state is growing superlinearly", perHost, budget)
+	}
+	t.Logf("65536-host dragonfly: %.0f bytes/host retained", perHost)
+
+	// One neighbor-traffic wave: every host streams 64KiB to its successor
+	// under the same router (wrapping within the router), all 65536 flows
+	// in flight at once.
+	const hostsPerRouter = 32
+	k := simix.New()
+	n := surf.NewNetwork(k, surf.Ideal())
+	k.AddModel(n)
+	done := 0
+	k.Spawn("wave", func(p *simix.Proc) {
+		futures := make([]*simix.Future, 0, len(hosts))
+		for i, h := range hosts {
+			router := i / hostsPerRouter
+			dst := hosts[router*hostsPerRouter+(i+1)%hostsPerRouter]
+			f := simix.NewFuture()
+			n.StartFlow(plat.Route(h, dst), 64*core.KiB, f)
+			futures = append(futures, f)
+		}
+		for _, f := range futures {
+			p.Wait(f)
+			done++
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != len(hosts) {
+		t.Fatalf("completed %d flows, want %d", done, len(hosts))
+	}
+}

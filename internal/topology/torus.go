@@ -49,27 +49,9 @@ func (s TorusSpec) Validate() error {
 	return nil
 }
 
-// coords decomposes a host ID (dimension 0 varies fastest).
-func (s TorusSpec) coords(id int) []int {
-	c := make([]int, len(s.Dims))
-	for d, k := range s.Dims {
-		c[d] = id % k
-		id /= k
-	}
-	return c
-}
-
-func (s TorusSpec) id(c []int) int {
-	id := 0
-	for d := len(s.Dims) - 1; d >= 0; d-- {
-		id = id*s.Dims[d] + c[d]
-	}
-	return id
-}
-
 // Build implements platform.Spec: one host per grid point, a plus- and a
-// minus-direction link per (host, dimension), and the dimension-order
-// router.
+// minus-direction link per (host, dimension), and the implicit
+// dimension-order router.
 func (s TorusSpec) Build() (*platform.Platform, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -77,54 +59,76 @@ func (s TorusSpec) Build() (*platform.Platform, error) {
 	p := platform.New(s.Name)
 	n := s.Hosts()
 	ndims := len(s.Dims)
-	plus := make([][]*platform.Link, n)
-	minus := make([][]*platform.Link, n)
+	p.Reserve(n, 2*n*ndims)
 	for i := 0; i < n; i++ {
 		host := p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
 		// The dimension-0 ring is the lowest-level group (neighbors there
 		// are one cable apart); placement mappers lay ranks out by it.
 		host.Cabinet = i / s.Dims[0]
-		plus[i] = make([]*platform.Link, ndims)
-		minus[i] = make([]*platform.Link, ndims)
 		for d := 0; d < ndims; d++ {
-			plus[i][d] = p.AddLink(fmt.Sprintf("%s-%d-d%d-plus", s.Name, i, d),
+			p.AddLink(fmt.Sprintf("%s-%d-d%d-plus", s.Name, i, d),
 				s.LinkBandwidth, s.LinkLatency, lmm.Shared)
-			minus[i][d] = p.AddLink(fmt.Sprintf("%s-%d-d%d-minus", s.Name, i, d),
+			p.AddLink(fmt.Sprintf("%s-%d-d%d-minus", s.Name, i, d),
 				s.LinkBandwidth, s.LinkLatency, lmm.Shared)
 		}
 	}
 
-	p.SetRouter(func(a, b *platform.Host) platform.Route {
-		cur := s.coords(a.ID)
-		dst := s.coords(b.ID)
-		var links []*platform.Link
-		for d, k := range s.Dims {
-			delta := ((dst[d]-cur[d])%k + k) % k
-			if delta == 0 {
-				continue
-			}
+	p.SetRouter(&torusRouter{p: p, dims: append([]int(nil), s.Dims...)})
+	p.Topo = topoInfo("torus", s.Metrics())
+	return p, nil
+}
+
+// torusRouter routes dimension-order paths implicitly: host i's plus link
+// in dimension d has ID i*2*ndims + 2*d (minus at +1, matching the build
+// order), so the router stores only the extents slice — O(1) state in the
+// host count — and walks coordinates as plain integer arithmetic.
+type torusRouter struct {
+	p    *platform.Platform
+	dims []int
+}
+
+// String implements fmt.Stringer for missing-route diagnostics.
+func (r *torusRouter) String() string { return "torus dimension-order router" }
+
+// RouteInto implements platform.Router.
+func (r *torusRouter) RouteInto(buf []*platform.Link, a, b *platform.Host) platform.Route {
+	start := len(buf)
+	cur, dst := a.ID, b.ID
+	nd := len(r.dims)
+	stride := 1
+	for d, k := range r.dims {
+		cd := (cur / stride) % k
+		delta := ((dst/stride)%k - cd + k) % k
+		if delta != 0 {
 			// Shorter wrap direction; on a tie (even k, delta == k/2) go
 			// the positive way so routes stay deterministic.
 			if 2*delta <= k {
 				for step := 0; step < delta; step++ {
-					links = append(links, plus[s.id(cur)][d])
-					cur[d] = (cur[d] + 1) % k
+					buf = append(buf, r.p.LinkByID(cur*2*nd+2*d))
+					if cd++; cd == k {
+						cd, cur = 0, cur-(k-1)*stride
+					} else {
+						cur += stride
+					}
 				}
 			} else {
 				for step := 0; step < k-delta; step++ {
-					links = append(links, minus[s.id(cur)][d])
-					cur[d] = (cur[d] - 1 + k) % k
+					buf = append(buf, r.p.LinkByID(cur*2*nd+2*d+1))
+					if cd--; cd < 0 {
+						cd, cur = k-1, cur+(k-1)*stride
+					} else {
+						cur -= stride
+					}
 				}
 			}
 		}
-		r := platform.Route{Links: links}
-		for _, l := range links {
-			r.Latency += l.Latency
-		}
-		return r
-	})
-	p.Topo = topoInfo("torus", s.Metrics())
-	return p, nil
+		stride *= k
+	}
+	route := platform.Route{Links: buf}
+	for _, l := range buf[start:] {
+		route.Latency += l.Latency
+	}
+	return route
 }
 
 // Metrics implements Spec. The bisection cut halves the largest dimension;
