@@ -49,9 +49,10 @@ type gate struct {
 
 func main() {
 	var (
-		update = flag.Bool("update", false, "rewrite the baseline ns_per_op maps with freshly measured values instead of gating")
-		count  = flag.Int("count", 3, "benchmark repetitions; the minimum ns/op of the runs is compared")
-		short  = flag.Bool("short", false, "run benchmarks with -short; baselines whose sub-benchmarks skip themselves are reported as skipped, not missing")
+		update   = flag.Bool("update", false, "rewrite the baseline ns_per_op maps with freshly measured values instead of gating")
+		count    = flag.Int("count", 3, "benchmark repetitions; the minimum ns/op of the runs is compared")
+		short    = flag.Bool("short", false, "run benchmarks with -short; baselines whose sub-benchmarks skip themselves are reported as skipped, not missing")
+		counters = flag.Bool("counters", false, "set SMPIGO_BENCH_COUNTERS=1 in the benchmark child: instrumented benchmarks attach kernel counters and report them as custom metrics (printed, never gated)")
 	)
 	flag.Parse()
 	files := flag.Args()
@@ -60,7 +61,7 @@ func main() {
 	}
 	failed := false
 	for _, file := range files {
-		if err := runGate(file, *count, *update, *short); err != nil {
+		if err := runGate(file, *count, *update, *short, *counters); err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", file, err)
 			failed = true
 		}
@@ -70,7 +71,7 @@ func main() {
 	}
 }
 
-func runGate(file string, count int, update, short bool) error {
+func runGate(file string, count int, update, short, counters bool) error {
 	raw, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -88,7 +89,7 @@ func runGate(file string, count int, update, short bool) error {
 	if g.Package == "" || g.Bench == "" || len(g.NsPerOp) == 0 {
 		return fmt.Errorf("gate object incomplete: need package, bench, and ns_per_op")
 	}
-	measured, metrics, err := runBench(g, count, short)
+	measured, metrics, err := runBench(g, count, short, counters)
 	if err != nil {
 		return err
 	}
@@ -133,6 +134,17 @@ func runGate(file string, count int, update, short bool) error {
 		for _, unit := range sortedKeys(g.Metrics[name]) {
 			got, ok := metrics[name][unit]
 			check(name, unit, g.Metrics[name][unit], got, ok)
+		}
+	}
+	// Custom metrics with no baseline (the -counters kernel counters land
+	// here) are informational: print them, never gate on them.
+	for _, name := range sortedKeys(metrics) {
+		for _, unit := range sortedKeys(metrics[name]) {
+			if _, gated := g.Metrics[name][unit]; gated {
+				continue
+			}
+			fmt.Printf("%-55s %12.4g %-10s (measured, not gated)\n",
+				fmt.Sprintf("%s/%s %s", g.Bench, name, unit), metrics[name][unit], unit)
 		}
 	}
 	if len(regressions) > 0 {
@@ -195,7 +207,7 @@ func warnUngated(g *gate, measured map[string]float64, update bool) {
 // runBench executes the gated benchmark count times with the pinned
 // benchtime and returns the per-sub-benchmark minimum ns/op plus any custom
 // metrics (min per unit).
-func runBench(g *gate, count int, short bool) (map[string]float64, map[string]map[string]float64, error) {
+func runBench(g *gate, count int, short, counters bool) (map[string]float64, map[string]map[string]float64, error) {
 	args := []string{"test", "-run", "^$",
 		"-bench", "^" + g.Bench + "$",
 		"-benchtime", g.Benchtime,
@@ -206,6 +218,9 @@ func runBench(g *gate, count int, short bool) (map[string]float64, map[string]ma
 	}
 	args = append(args, g.Package)
 	cmd := exec.Command("go", args...)
+	if counters {
+		cmd.Env = append(os.Environ(), "SMPIGO_BENCH_COUNTERS=1")
+	}
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {

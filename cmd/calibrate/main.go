@@ -54,7 +54,7 @@ func run(platName string, cross bool) error {
 		}
 	}
 	fmt.Printf("calibrating on %s between %s and %s (%d switch(es))\n",
-		plat.Name, a.Name, b.Name, platform.SwitchHops(a, b))
+		plat.Name, a.Name(), b.Name(), platform.SwitchHops(a, b))
 
 	samples, err := skampi.PingPong(skampi.PingPongConfig{
 		Base: smpi.Config{Platform: plat, Backend: smpi.BackendEmu},

@@ -7,12 +7,12 @@
 //
 // Usage:
 //
-//	experiments [-fig all] [-fast] [-parallel N] [-seed S] [-json]
+//	experiments [-fig all] [-fast] [-parallel N] [-seed S] [-json] [-pprof addr]
 //	experiments campaign -op scatter -procs 4,8,16 -sizes 64KiB,1MiB,4MiB \
 //	    [-models piecewise,bestfit] [-backends surf,openmpi] \
 //	    [-platform griffon] [-topologies griffon,fattree64,torus64] \
 //	    [-placements block,rr,random] [-collectives auto] \
-//	    [-parallel N] [-seed S] [-json]
+//	    [-parallel N] [-seed S] [-json] [-stats] [-pprof addr]
 //
 // -fig topo compares ring vs tree collectives across interconnect shapes
 // (flat cluster, fat-tree, torus, dragonfly); -fig placement sweeps rank
@@ -24,18 +24,29 @@
 //
 // Running with -fig all reproduces the whole campaign; EXPERIMENTS.md
 // records paper-vs-measured for each figure.
+//
+// Observability: campaign -stats attaches per-job kernel counters (see
+// internal/obs) and prints the aggregate; -pprof addr serves net/http/pprof
+// profiles plus a plain-text /debug/metrics dump of the Go runtime metrics
+// while the sweep runs — the way to see where a long campaign spends its
+// wall-clock without instrumenting anything.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/metrics"
 	"strconv"
 	"strings"
 
 	"smpigo/internal/core"
 	"smpigo/internal/experiments"
+	"smpigo/internal/obs"
 )
 
 func main() {
@@ -59,11 +70,15 @@ func runFigures(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker-pool size for each figure's simulations (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "campaign seed; per-job seeds derive from it")
 	jsonOut := fs.Bool("json", false, "emit the figure tables as JSON instead of aligned text")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and /debug/metrics on this address (e.g. localhost:6060) while running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q (the \"campaign\" subcommand must come first: experiments campaign ...)", fs.Arg(0))
+	}
+	if err := startPprof(*pprofAddr); err != nil {
+		return err
 	}
 
 	env, err := experiments.NewEnv()
@@ -195,12 +210,17 @@ func runCampaign(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "campaign seed; per-job seeds derive from it")
 	jsonOut := fs.Bool("json", false, "emit the full campaign summary as JSON")
+	statsOn := fs.Bool("stats", false, "collect kernel counters per job and print the campaign aggregate")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and /debug/metrics on this address (e.g. localhost:6060) while running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if err := startPprof(*pprofAddr); err != nil {
+		return err
 	}
 
 	procs, err := parseInts(*procsArg)
@@ -224,6 +244,7 @@ func runCampaign(args []string) error {
 		Topologies:  splitList(*topologiesArg),
 		Placements:  splitList(*placementsArg),
 		Collectives: *collectivesArg,
+		Stats:       *statsOn,
 	}
 
 	env, err := experiments.NewEnv()
@@ -242,10 +263,54 @@ func runCampaign(args []string) error {
 		}
 	} else {
 		fmt.Println(experiments.GridTable(spec, sum).String())
+		if *statsOn {
+			fmt.Println("campaign kernel counters (summed; .max keys are high-water marks):")
+			fmt.Print(obs.FormatFlat(sum.Stats))
+		}
 	}
 	if sum.Failed > 0 {
 		return fmt.Errorf("%d of %d jobs failed", sum.Failed, sum.Jobs)
 	}
+	return nil
+}
+
+// startPprof serves the net/http/pprof handlers (registered on the default
+// mux by the blank import) plus a plain-text /debug/metrics dump of the Go
+// runtime metrics. Listening synchronously surfaces a bad address as a flag
+// error instead of a background log line; the server then runs for the
+// process lifetime — profiling a campaign means sampling while it sweeps.
+func startPprof(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	http.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		descs := metrics.All()
+		samples := make([]metrics.Sample, len(descs))
+		for i, d := range descs {
+			samples[i].Name = d.Name
+		}
+		metrics.Read(samples)
+		for _, s := range samples {
+			switch s.Value.Kind() {
+			case metrics.KindUint64:
+				fmt.Fprintf(w, "%s %d\n", s.Name, s.Value.Uint64())
+			case metrics.KindFloat64:
+				fmt.Fprintf(w, "%s %g\n", s.Name, s.Value.Float64())
+			}
+			// Histogram-kind metrics are omitted: the pprof profiles cover
+			// latency distributions far better than a text dump could.
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-pprof: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ and /debug/metrics\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "pprof:", err)
+		}
+	}()
 	return nil
 }
 

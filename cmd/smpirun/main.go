@@ -28,6 +28,7 @@ import (
 	"smpigo/internal/core"
 	"smpigo/internal/experiments"
 	"smpigo/internal/nas"
+	"smpigo/internal/obs"
 	"smpigo/internal/placement"
 	"smpigo/internal/platform"
 	"smpigo/internal/replay"
@@ -55,9 +56,12 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "deterministic seed (per-rank RNGs, random placement)")
 		traceOut  = flag.String("trace", "", "record a point-to-point trace to this file (off-line simulation input)")
 		replayIn  = flag.String("replay", "", "replay a recorded trace instead of running an app")
+		statsOn   = flag.Bool("stats", false, "print kernel counters and the link hot-spot report after the run")
+		timeline  = flag.String("timeline", "", "write a per-link/per-host utilization timeline (JSON) to this file")
+		tlBucket  = flag.String("timeline-bucket", "1ms", "timeline bucket width (simulated time)")
 	)
 	flag.Parse()
-	if err := run(*appName, *np, *platName, *backend, *modelName, *noCont, *chunk, *graph, *class, *ratio, *fold, *placeArg, *collArg, *seed, *traceOut, *replayIn); err != nil {
+	if err := run(*appName, *np, *platName, *backend, *modelName, *noCont, *chunk, *graph, *class, *ratio, *fold, *placeArg, *collArg, *seed, *traceOut, *replayIn, *statsOn, *timeline, *tlBucket); err != nil {
 		fmt.Fprintln(os.Stderr, "smpirun:", err)
 		os.Exit(1)
 	}
@@ -112,12 +116,61 @@ func pickModel(name string) (surf.NetModel, error) {
 
 func run(appName string, np int, platName, backend, modelName string, noCont bool,
 	chunkStr, graph, class string, ratio float64, fold bool,
-	placeArg, collArg string, seed uint64, traceOut, replayIn string) error {
+	placeArg, collArg string, seed uint64, traceOut, replayIn string,
+	statsOn bool, timelineOut, tlBucket string) error {
 	plat, err := loadPlatform(platName)
 	if err != nil {
 		return err
 	}
 	cfg := smpi.Config{Procs: np, Platform: plat, NoContention: noCont, Seed: seed}
+
+	// Observability is opt-in: without -stats/-timeline the simulation runs
+	// with every instrumentation hook compiled down to a nil check.
+	var st *obs.Stats
+	var observer *obs.Observer
+	var tl *obs.Timeline
+	if statsOn || timelineOut != "" {
+		st = &obs.Stats{}
+		cfg.Stats = st
+		observer = obs.NewObserver(plat)
+		cfg.Usage = observer
+		if timelineOut != "" {
+			width, err := core.ParseDuration(tlBucket)
+			if err != nil {
+				return fmt.Errorf("bad -timeline-bucket %q: %v", tlBucket, err)
+			}
+			if width <= 0 {
+				return fmt.Errorf("bad -timeline-bucket %q: width must be positive", tlBucket)
+			}
+			tl = obs.NewTimeline(plat, width)
+			cfg.Usage = obs.Multi(observer, tl)
+		}
+	}
+	// finishObs emits the reports after either the app or the replay path.
+	finishObs := func() error {
+		if st == nil {
+			return nil
+		}
+		if statsOn {
+			fmt.Printf("--- kernel counters ---\n%s", st.Report())
+			fmt.Printf("--- link hot spots ---\n%s", observer.HotSpots(10))
+		}
+		if tl != nil {
+			f, err := os.Create(timelineOut)
+			if err != nil {
+				return err
+			}
+			if err := tl.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("timeline written   : %s\n", timelineOut)
+		}
+		return nil
+	}
 	if cfg.Algorithms, err = smpi.ParseAlgorithms(collArg); err != nil {
 		return err
 	}
@@ -238,7 +291,7 @@ func run(appName string, np int, platName, backend, modelName string, noCont boo
 			replayIn, tr.Procs, tr.Events(), plat.Name, backend)
 		fmt.Printf("simulated time     : %v\n", rep.SimulatedTime)
 		fmt.Printf("simulation wall    : %v\n", rep.WallTime)
-		return nil
+		return finishObs()
 	}
 	if err := applyPlacement(cfg.Procs); err != nil {
 		return err
@@ -269,7 +322,7 @@ func run(appName string, np int, platName, backend, modelName string, noCont boo
 	}
 	fmt.Printf("application        : %s (np=%d) on %s [%s backend]\n", appName, cfg.Procs, plat.Name, backend)
 	if placeArg != "" {
-		fmt.Printf("placement          : %s (rank 0 on %s)\n", placeArg, cfg.Hosts[0].Name)
+		fmt.Printf("placement          : %s (rank 0 on %s)\n", placeArg, cfg.Hosts[0].Name())
 	}
 	fmt.Printf("simulated time     : %v\n", rep.SimulatedTime)
 	fmt.Printf("simulation wall    : %v\n", rep.WallTime)
@@ -280,5 +333,5 @@ func run(appName string, np int, platName, backend, modelName string, noCont boo
 	if rep.BurstsExecuted+rep.BurstsReplayed > 0 {
 		fmt.Printf("bursts exec/replay : %d / %d\n", rep.BurstsExecuted, rep.BurstsReplayed)
 	}
-	return nil
+	return finishObs()
 }

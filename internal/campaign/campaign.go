@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,6 +54,11 @@ type Outcome struct {
 	// Payload carries an arbitrary rich result to the caller (a table, a
 	// sample set). It is not serialized and not fingerprinted.
 	Payload any `json:"-"`
+	// Stats holds the job's kernel/model counters (obs.Stats.Flat()) when it
+	// ran instrumented. They aggregate into Summary.Stats but — unlike
+	// Values — never enter the fingerprint: counters describe how the
+	// simulator worked, not what it computed, and must be free to change.
+	Stats map[string]float64 `json:"stats,omitempty"`
 }
 
 // Result couples a job with its outcome or failure.
@@ -94,6 +100,31 @@ type Summary struct {
 	MaxSimulated   core.Time `json:"max_simulated_s"`
 	// Wall is the whole campaign's wall-clock duration.
 	Wall time.Duration `json:"wall_ns"`
+	// Stats aggregates the jobs' counter maps (see Outcome.Stats and
+	// MergeStats). nil when no job reported counters. Not fingerprinted.
+	Stats map[string]float64 `json:"stats,omitempty"`
+}
+
+// MergeStats folds one job's counter map into an aggregate: keys are summed,
+// except high-water marks — keys with the ".max" suffix — which take the
+// maximum. Passing a nil aggregate allocates one; from may be nil.
+func MergeStats(into, from map[string]float64) map[string]float64 {
+	if len(from) == 0 {
+		return into
+	}
+	if into == nil {
+		into = make(map[string]float64, len(from))
+	}
+	for k, v := range from {
+		if strings.HasSuffix(k, ".max") {
+			if v > into[k] {
+				into[k] = v
+			}
+		} else {
+			into[k] += v
+		}
+	}
+	return into
 }
 
 // Run executes jobs over the worker pool and returns the campaign summary.
@@ -154,6 +185,7 @@ func Run(opts Options, jobs []Job) *Summary {
 			if r.Outcome.SimulatedTime > sum.MaxSimulated {
 				sum.MaxSimulated = r.Outcome.SimulatedTime
 			}
+			sum.Stats = MergeStats(sum.Stats, r.Outcome.Stats)
 		}
 	}
 	return sum

@@ -168,6 +168,11 @@ func (n *Net) jitterScale() float64 {
 // Impl returns the emulated MPI implementation parameters.
 func (n *Net) Impl() MPIImpl { return n.impl }
 
+// InstrumentHeap attaches counters to the emulator's packet-hop heap (the
+// same actionheap the analytical models share). nil detaches; an
+// uninstrumented heap pays nothing.
+func (n *Net) InstrumentHeap(s *actionheap.Stats) { n.events.Stats = s }
+
 // Transfer emulates an MPI point-to-point payload of size bytes from src to
 // dst, fulfilling future at the time the receive completes. Must be called
 // from actor context.

@@ -6,6 +6,7 @@ import (
 
 	"smpigo/internal/campaign"
 	"smpigo/internal/core"
+	"smpigo/internal/obs"
 	"smpigo/internal/placement"
 	"smpigo/internal/platform"
 	"smpigo/internal/skampi"
@@ -53,6 +54,11 @@ type GridSpec struct {
 	// defaults, "auto" for topology-keyed selection, or per-collective
 	// overrides like "bcast=ring,allreduce=auto".
 	Collectives string
+	// Stats attaches a per-job obs.Stats to every simulation and records
+	// the non-zero counters in each Outcome.Stats; campaign.Run aggregates
+	// them into Summary.Stats. Counters never enter the fingerprint, so a
+	// stats sweep fingerprints identically to a plain one.
+	Stats bool
 }
 
 // gridPoint is one scenario coordinate of the expanded grid.
@@ -252,9 +258,27 @@ func (e *Env) GridCampaign(spec GridSpec) (*campaign.Summary, error) {
 			return nil, err
 		}
 		cfg.Algorithms = algos
+		// Each job gets its own Stats sink: jobs run concurrently, and the
+		// wrapped Run flattens the counters into the outcome after the
+		// simulation finishes (the sink is quiescent by then).
+		var st *obs.Stats
+		if spec.Stats {
+			st = new(obs.Stats)
+			cfg.Stats = st
+		}
 		job, err := gridJob(op, pt, plat, cfg)
 		if err != nil {
 			return nil, err
+		}
+		if st != nil {
+			inner := job.Run
+			job.Run = func(ctx *campaign.Ctx) (*campaign.Outcome, error) {
+				out, err := inner(ctx)
+				if out != nil {
+					out.Stats = obs.NonZero(st.Flat())
+				}
+				return out, err
+			}
 		}
 		jobs = append(jobs, job)
 	}

@@ -21,6 +21,7 @@ package lmm_test
 import (
 	"math"
 	"math/rand"
+	"os"
 	"testing"
 
 	"smpigo/internal/lmm"
@@ -63,7 +64,7 @@ func (ft *fatTreeBench) addFlow(src, dst int) {
 	for _, l := range route.Links {
 		c, ok := ft.cons[l]
 		if !ok {
-			c = ft.sys.NewConstraint(l.Name, l.Bandwidth, l.Policy)
+			c = ft.sys.NewConstraint(l.Name(), l.Bandwidth, l.Policy)
 			ft.cons[l] = c
 		}
 		ft.sys.Attach(v, c)
@@ -126,10 +127,23 @@ func BenchmarkLMMIncremental(b *testing.B) {
 		}
 		b.Run(pat.name+"/incremental", func(b *testing.B) {
 			ft := setup(b)
+			// benchgate -counters mode: attach solver counters and report
+			// per-churn work; the default run stays uninstrumented (the
+			// zero-overhead contract the gate baselines pin).
+			var stats lmm.Stats
+			if os.Getenv("SMPIGO_BENCH_COUNTERS") != "" {
+				ft.sys.Stats = &stats
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ft.churn(pat.random)
 				ft.sys.Solve()
+			}
+			if ft.sys.Stats != nil && b.N > 0 {
+				per := 1 / float64(b.N)
+				b.ReportMetric(float64(stats.Components)*per, "components/op")
+				b.ReportMetric(float64(stats.DirtyConstraints)*per, "dirtycons/op")
+				b.ReportMetric(float64(stats.VarsResolved)*per, "resolved/op")
 			}
 		})
 		b.Run(pat.name+"/full", func(b *testing.B) {

@@ -108,6 +108,10 @@ type System struct {
 	// resolved accumulates the variables whose components the last Solve
 	// re-solved (see Resolved).
 	resolved []*Variable
+
+	// Stats, when non-nil, accumulates solver counters (solves, dirty-set
+	// sizes, component shapes). Attach before solving; nil costs nothing.
+	Stats *Stats
 }
 
 // New returns an empty system.

@@ -30,6 +30,11 @@ func (s *System) Solve() {
 	s.epoch++
 	s.resolved = s.resolved[:0]
 	dirtyCons, dirtyVars := s.dirtyCons, s.dirtyVars
+	if s.Stats != nil {
+		s.Stats.Solves++
+		s.Stats.DirtyConstraints += uint64(len(dirtyCons))
+		s.Stats.DirtyVariables += uint64(len(dirtyVars))
+	}
 	for _, c := range dirtyCons {
 		c.dirty = false
 		s.resolveSeedCons(c)
@@ -49,6 +54,9 @@ func (s *System) Solve() {
 // the same per-component routine over the same partitions); it exists as
 // the reference path for equivalence tests and benchmarks.
 func (s *System) SolveFull() {
+	if s.Stats != nil {
+		s.Stats.FullSolves++
+	}
 	for _, c := range s.dirtyCons {
 		c.dirty = false
 	}
@@ -187,6 +195,16 @@ func charge(v *Variable) {
 // creation/attach order), so shrinking the scans never changes a bit of the
 // result — it only stops revisiting finished work.
 func (s *System) solveComponent(cons []*Constraint, vars []*Variable) {
+	if s.Stats != nil {
+		s.Stats.Components++
+		s.Stats.VarsResolved += uint64(len(vars))
+		if len(vars) > s.Stats.MaxComponentVars {
+			s.Stats.MaxComponentVars = len(vars)
+		}
+		if len(cons) > s.Stats.MaxComponentCons {
+			s.Stats.MaxComponentCons = len(cons)
+		}
+	}
 	s.resolved = append(s.resolved, vars...)
 	for _, v := range vars {
 		v.fixed = false

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -43,6 +45,83 @@ func TestLogErrorPanicsOnNonPositive(t *testing.T) {
 		}
 	}()
 	LogError(0, 1)
+}
+
+// TestCheckedRejections pins the validity checks across the full table of
+// bad inputs. NaN is the regression case: the old x <= 0 guard let it
+// through (every NaN comparison is false) and math.Log silently poisoned
+// the aggregate.
+func TestCheckedRejections(t *testing.T) {
+	nan := math.NaN()
+	logCases := []struct {
+		name   string
+		x, ref float64
+		ok     bool
+	}{
+		{"valid", 2, 1, true},
+		{"zero prediction", 0, 1, false},
+		{"zero reference", 1, 0, false},
+		{"negative prediction", -3, 1, false},
+		{"negative reference", 1, -3, false},
+		{"NaN prediction", nan, 1, false},
+		{"NaN reference", 1, nan, false},
+		{"both NaN", nan, nan, false},
+	}
+	for _, tc := range logCases {
+		_, err := LogErrorChecked(tc.x, tc.ref)
+		if (err == nil) != tc.ok {
+			t.Errorf("LogErrorChecked(%v, %v) [%s]: err = %v, want ok=%v", tc.x, tc.ref, tc.name, err, tc.ok)
+		}
+	}
+	relCases := []struct {
+		name   string
+		x, ref float64
+		ok     bool
+	}{
+		{"valid", 2, 1, true},
+		{"negative allowed", -2, -1, true},
+		{"zero reference", 1, 0, false},
+		{"NaN reference", 1, nan, false},
+		{"NaN prediction", nan, 1, false},
+	}
+	for _, tc := range relCases {
+		_, err := RelativeErrorChecked(tc.x, tc.ref)
+		if (err == nil) != tc.ok {
+			t.Errorf("RelativeErrorChecked(%v, %v) [%s]: err = %v, want ok=%v", tc.x, tc.ref, tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestSummarizeCheckedContext verifies the error variants carry enough
+// context to locate a bad point in a measured series.
+func TestSummarizeCheckedContext(t *testing.T) {
+	if _, err := SummarizeChecked([]float64{1}, []float64{1, 2}); err == nil || !strings.Contains(err.Error(), "1 predictions vs 2 references") {
+		t.Errorf("mismatch error lacks lengths: %v", err)
+	}
+	if _, err := SummarizeChecked(nil, nil); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty error: %v", err)
+	}
+	_, err := SummarizeChecked([]float64{1, 2, math.NaN(), 4}, []float64{1, 1, 1, 1})
+	if err == nil || !strings.Contains(err.Error(), "point 2 of 4") {
+		t.Errorf("NaN point error lacks index context: %v", err)
+	}
+	s, err := SummarizeChecked([]float64{1, 2}, []float64{1, 1})
+	if err != nil || s.N != 2 {
+		t.Errorf("valid series: %v, %v", s, err)
+	}
+}
+
+func TestSummarizeNaNPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("want panic on NaN point")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "point 1 of 2") {
+			t.Errorf("panic message lacks context: %q", msg)
+		}
+	}()
+	Summarize([]float64{1, math.NaN()}, []float64{1, 1})
 }
 
 func TestSummarize(t *testing.T) {

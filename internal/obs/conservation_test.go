@@ -1,0 +1,148 @@
+package obs_test
+
+// Conservation tests: the observability layer's core guarantee is that the
+// drained-segment stream accounts for exactly the traffic injected — a flow
+// of S bytes over a k-link route contributes k*S recorded bytes, however
+// many rate changes it lives through. The test pins this on every topology
+// preset (each exercises a different routing inverse and contention
+// pattern), checks Shared-link utilization never exceeds 1 (the LMM never
+// over-commits a constraint), and round-trips the Timeline JSON to verify
+// bucketing preserves the same totals.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"smpigo/internal/core"
+	"smpigo/internal/lmm"
+	"smpigo/internal/obs"
+	"smpigo/internal/platform"
+	"smpigo/internal/simix"
+	"smpigo/internal/surf"
+	"smpigo/internal/topology"
+)
+
+const payload = 1 << 20 // 1 MiB per flow
+
+// relClose reports whether got is within 1e-9 relative of want.
+func relClose(got, want float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want) <= 1e-9*math.Abs(want)
+}
+
+func TestLinkByteConservation(t *testing.T) {
+	for _, name := range topology.PresetNames() {
+		t.Run(name, func(t *testing.T) {
+			spec, err := topology.ParseSpec(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plat, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts := plat.Hosts()
+			n := len(hosts)
+			// A spine-crossing shift pattern: host i streams to i+n/2+1, so
+			// most routes leave the local switch and contend on trunk links.
+			stride := n/2 + 1
+			if stride%n == 0 {
+				stride = 1
+			}
+			dst := func(i int) int { return (i + stride) % n }
+
+			// Expected per-link bytes from the routes alone: every link a
+			// route crosses carries the full payload.
+			expected := make([]float64, len(plat.Links()))
+			for i := range hosts {
+				for _, l := range plat.Route(hosts[i], hosts[dst(i)]).Links {
+					expected[l.ID] += payload
+				}
+			}
+
+			k := simix.New()
+			net := surf.NewNetwork(k, surf.Ideal())
+			k.AddModel(net)
+			o := obs.NewObserver(plat)
+			tl := obs.NewTimeline(plat, core.Duration(100e-6))
+			net.Instrument(nil, nil, nil, obs.Multi(o, tl))
+			k.Spawn("flows", func(p *simix.Proc) {
+				futs := make([]*simix.Future, n)
+				for i := range hosts {
+					futs[i] = simix.NewFuture()
+					net.StartFlow(plat.Route(hosts[i], hosts[dst(i)]), payload, futs[i])
+				}
+				for _, f := range futs {
+					p.Wait(f)
+				}
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, l := range plat.Links() {
+				if got := o.LinkBytes(l); !relClose(got, expected[l.ID]) {
+					t.Errorf("link %s: recorded %.6f B, routes inject %.0f B", l.Name(), got, expected[l.ID])
+				}
+			}
+			for _, u := range o.TopLinks(len(plat.Links())) {
+				if u.Link.Policy == lmm.Shared && u.Utilization > 1+1e-9 {
+					t.Errorf("link %s: utilization %.6f exceeds capacity", u.Link.Name(), u.Utilization)
+				}
+			}
+
+			// Timeline bucket sums must reproduce the observer's totals:
+			// proportional distribution moves bytes between buckets, never
+			// creates or destroys them.
+			var buf bytes.Buffer
+			if err := tl.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			var doc struct {
+				BucketWidth float64 `json:"bucket_width"`
+				Links       []struct {
+					Name    string    `json:"name"`
+					Buckets []float64 `json:"buckets"`
+				} `json:"links"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+				t.Fatal(err)
+			}
+			if doc.BucketWidth != 100e-6 {
+				t.Errorf("bucket width %v, want 100e-6", doc.BucketWidth)
+			}
+			byName := make(map[string]*platform.Link, len(plat.Links()))
+			for _, l := range plat.Links() {
+				byName[l.Name()] = l
+			}
+			active := 0
+			for _, s := range doc.Links {
+				sum := 0.0
+				for _, b := range s.Buckets {
+					sum += b
+				}
+				l := byName[s.Name]
+				if l == nil {
+					t.Fatalf("timeline names unknown link %q", s.Name)
+				}
+				if !relClose(sum, o.LinkBytes(l)) {
+					t.Errorf("link %s: timeline buckets sum to %.6f B, observer total %.0f B", s.Name, sum, o.LinkBytes(l))
+				}
+				active++
+			}
+			wantActive := 0
+			for _, e := range expected {
+				if e != 0 {
+					wantActive++
+				}
+			}
+			if active != wantActive {
+				t.Errorf("timeline has %d link series, %d links carried traffic", active, wantActive)
+			}
+		})
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+// White-box unit tests for the observer, timeline bucketing, recorder
+// fan-out, and counter formatting. The cross-package conservation suite
+// (conservation_test.go) covers the same machinery end-to-end against live
+// simulations; these pin the arithmetic in isolation.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smpigo/internal/core"
+	"smpigo/internal/lmm"
+	"smpigo/internal/platform"
+	"smpigo/internal/surf"
+)
+
+func testPlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	p := platform.New("t")
+	for i := 0; i < 3; i++ {
+		p.AddHost("h"+string(rune('0'+i)), 1e9)
+	}
+	p.AddLink("l0", 1e9, 0, lmm.Shared)
+	p.AddLink("l1", 2e9, 0, lmm.Shared)
+	p.AddLink("l2", 1e9, 0, lmm.FatPipe)
+	return p
+}
+
+func TestObserverTotalsAndSpan(t *testing.T) {
+	p := testPlatform(t)
+	o := NewObserver(p)
+	if _, _, ok := o.Span(); ok {
+		t.Error("fresh observer claims a span")
+	}
+	l0, l1 := p.LinkByID(0), p.LinkByID(1)
+	o.RecordLink(l0, 1, 2, 100)
+	o.RecordLink(l0, 2, 3, 50)
+	o.RecordLink(l1, 0.5, 1.5, 300)
+	o.RecordHost(p.HostByID(2), 1, 4, 1e6)
+	if got := o.LinkBytes(l0); got != 150 {
+		t.Errorf("l0 bytes = %v, want 150", got)
+	}
+	if got := o.HostFlops(p.HostByID(2)); got != 1e6 {
+		t.Errorf("h2 flops = %v, want 1e6", got)
+	}
+	start, end, ok := o.Span()
+	if !ok || start != 0.5 || end != 4 {
+		t.Errorf("span = [%v, %v] ok=%v, want [0.5, 4]", start, end, ok)
+	}
+}
+
+func TestTopLinksOrderingAndUtilization(t *testing.T) {
+	p := testPlatform(t)
+	o := NewObserver(p)
+	// l1 and l2 tie on bytes (ID breaks the tie); l0 carries less and a
+	// fourth candidate slot stays empty because only three links exist.
+	o.RecordLink(p.LinkByID(2), 0, 1, 500)
+	o.RecordLink(p.LinkByID(1), 0, 1, 500)
+	o.RecordLink(p.LinkByID(0), 0, 2, 400)
+	top := o.TopLinks(4)
+	if len(top) != 3 {
+		t.Fatalf("got %d links, want 3", len(top))
+	}
+	wantIDs := []int{1, 2, 0}
+	for i, u := range top {
+		if u.Link.ID != wantIDs[i] {
+			t.Errorf("top[%d] = link %d, want %d", i, u.Link.ID, wantIDs[i])
+		}
+	}
+	// Span is [0, 2]; l1 has 2 GB/s capacity, so 500 B over 2 s is
+	// 500 / (2e9 * 2) of capacity.
+	if want := 500 / (2e9 * 2.0); math.Abs(top[0].Utilization-want) > 1e-15 {
+		t.Errorf("l1 utilization = %v, want %v", top[0].Utilization, want)
+	}
+	if got := o.TopLinks(1); len(got) != 1 || got[0].Link.ID != 1 {
+		t.Errorf("TopLinks(1) = %v", got)
+	}
+}
+
+func TestHotSpotsEmpty(t *testing.T) {
+	o := NewObserver(testPlatform(t))
+	if got := o.HotSpots(5); !strings.Contains(got, "no link traffic") {
+		t.Errorf("empty report = %q", got)
+	}
+}
+
+func TestTimelineBucketDistribution(t *testing.T) {
+	p := testPlatform(t)
+	tl := NewTimeline(p, 1) // 1-second buckets
+	l := p.LinkByID(0)
+	// A segment spanning (0.5, 2.5] splits 25% / 50% / 25%.
+	tl.RecordLink(l, 0.5, 2.5, 400)
+	got := tl.links[0]
+	want := []float64{100, 200, 100}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// A zero-length segment (final remainder at the last sync date) lands
+	// entirely in its bucket.
+	tl.RecordLink(l, 2, 2, 60)
+	if got := tl.links[0][2]; math.Abs(got-160) > 1e-9 {
+		t.Errorf("bucket 2 after zero-length add = %v, want 160", got)
+	}
+	// Host series are independent.
+	tl.RecordHost(p.HostByID(1), 0, 1, 7)
+	if got := tl.hosts[1]; len(got) != 2 || got[0] != 7 {
+		t.Errorf("host buckets = %v", got)
+	}
+}
+
+func TestTimelineRejectsBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on zero width")
+		}
+	}()
+	NewTimeline(testPlatform(t), 0)
+}
+
+func TestMulti(t *testing.T) {
+	p := testPlatform(t)
+	a, b := NewObserver(p), NewObserver(p)
+	if got := Multi(); got != nil {
+		t.Errorf("Multi() = %v, want nil", got)
+	}
+	// Nil interface entries are skipped; one survivor comes back without a
+	// fan-out wrapper. (A typed-nil *Timeline in an interface is NOT nil —
+	// callers must branch before wrapping, as smpirun does.)
+	if got := Multi(nil, a, surf.UsageRecorder(nil)); got != surf.UsageRecorder(a) {
+		t.Errorf("Multi with nils = %v, want the single observer", got)
+	}
+	m := Multi(a, b)
+	m.RecordLink(p.LinkByID(0), 0, 1, 10)
+	m.RecordHost(p.HostByID(0), 0, 1, 5)
+	for i, o := range []*Observer{a, b} {
+		if o.LinkBytes(p.LinkByID(0)) != 10 || o.HostFlops(p.HostByID(0)) != 5 {
+			t.Errorf("recorder %d missed the fan-out", i)
+		}
+	}
+}
+
+func TestStatsFlatAndFormat(t *testing.T) {
+	var s Stats
+	s.Net.FlowsStarted = 3
+	s.NetLMM.MaxComponentVars = 9
+	s.Routes = 12
+	flat := s.Flat()
+	if flat["net.flows"] != 3 || flat["lmm.net.component_vars.max"] != 9 || flat["routes"] != 12 {
+		t.Errorf("Flat = %v", flat)
+	}
+	nz := NonZero(flat)
+	if len(nz) != 3 {
+		t.Errorf("NonZero kept %d keys, want 3: %v", len(nz), nz)
+	}
+	report := s.Report()
+	if strings.Contains(report, "cpu.tasks") {
+		t.Error("report includes zero-valued counters")
+	}
+	lines := strings.Split(strings.TrimSuffix(report, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("report has %d lines, want 3:\n%s", len(lines), report)
+	}
+	// Keys sort lexically, so lmm.* precedes net.* precedes routes.
+	if !strings.HasPrefix(lines[0], "lmm.net.component_vars.max") ||
+		!strings.HasPrefix(lines[1], "net.flows") ||
+		!strings.HasPrefix(lines[2], "routes") {
+		t.Errorf("report order wrong:\n%s", report)
+	}
+	if FormatFlat(nil) != "" {
+		t.Error("FormatFlat(nil) should be empty")
+	}
+}
+
+// TestTimelineWidthType pins that bucket width is a core.Duration in
+// seconds: a 100µs width buckets a 250µs segment across three bins.
+func TestTimelineWidthType(t *testing.T) {
+	p := testPlatform(t)
+	tl := NewTimeline(p, core.Duration(100e-6))
+	tl.RecordLink(p.LinkByID(0), 0, 250e-6, 250)
+	got := tl.links[0]
+	if len(got) != 3 || math.Abs(got[0]-100) > 1e-9 || math.Abs(got[2]-50) > 1e-9 {
+		t.Errorf("buckets = %v, want [100 100 50]", got)
+	}
+}

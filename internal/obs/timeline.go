@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"smpigo/internal/core"
+	"smpigo/internal/platform"
+	"smpigo/internal/surf"
+)
+
+// Timeline buckets the drained-segment stream into fixed-width time bins,
+// giving per-link (and per-host) load curves instead of run totals. A
+// segment spanning several buckets is distributed proportionally to the
+// overlap, so bucket sums equal the Observer's totals and the conservation
+// property survives bucketing.
+//
+// Memory is one float64 per (active resource, touched bucket); idle
+// resources and empty trailing buckets cost nothing.
+type Timeline struct {
+	plat  *platform.Platform
+	width core.Duration
+
+	links map[int][]float64 // link ID -> bytes per bucket
+	hosts map[int][]float64 // host ID -> flops per bucket
+}
+
+// NewTimeline creates a timeline with the given bucket width.
+func NewTimeline(plat *platform.Platform, width core.Duration) *Timeline {
+	if width <= 0 {
+		panic(fmt.Sprintf("obs: non-positive timeline bucket width %v", width))
+	}
+	return &Timeline{
+		plat:  plat,
+		width: width,
+		links: make(map[int][]float64),
+		hosts: make(map[int][]float64),
+	}
+}
+
+var _ surf.UsageRecorder = (*Timeline)(nil)
+
+// add distributes amount over (from, to] proportionally to bucket overlap.
+// Zero-length segments (a flow's final remainder completing exactly at its
+// last sync date) land entirely in from's bucket.
+func (t *Timeline) add(series map[int][]float64, id int, from, to core.Time, amount float64) {
+	buckets := series[id]
+	lo := int(from / t.width)
+	hi := int(to / t.width)
+	if need := hi + 1; len(buckets) < need {
+		grown := make([]float64, need)
+		copy(grown, buckets)
+		buckets = grown
+	}
+	if lo == hi || to <= from {
+		buckets[hi] += amount
+	} else {
+		rate := amount / float64(to-from)
+		for b := lo; b <= hi; b++ {
+			bStart, bEnd := core.Time(b)*t.width, core.Time(b+1)*t.width
+			if bStart < from {
+				bStart = from
+			}
+			if bEnd > to {
+				bEnd = to
+			}
+			buckets[b] += rate * float64(bEnd-bStart)
+		}
+	}
+	series[id] = buckets
+}
+
+// RecordLink implements surf.UsageRecorder.
+func (t *Timeline) RecordLink(l *platform.Link, from, to core.Time, bytes float64) {
+	t.add(t.links, l.ID, from, to, bytes)
+}
+
+// RecordHost implements surf.UsageRecorder.
+func (t *Timeline) RecordHost(h *platform.Host, from, to core.Time, flops float64) {
+	t.add(t.hosts, h.ID, from, to, flops)
+}
+
+// timelineJSON is the serialized form: bucket width in seconds, one series
+// per active resource with its dense bucket array.
+type timelineJSON struct {
+	BucketWidth float64      `json:"bucket_width"`
+	Links       []seriesJSON `json:"links,omitempty"`
+	Hosts       []seriesJSON `json:"hosts,omitempty"`
+}
+
+type seriesJSON struct {
+	Name    string    `json:"name"`
+	Buckets []float64 `json:"buckets"`
+}
+
+func seriesOf(m map[int][]float64, name func(id int) string) []seriesJSON {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	// Sort by ID for a deterministic file; names materialize only here.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := make([]seriesJSON, len(ids))
+	for i, id := range ids {
+		out[i] = seriesJSON{Name: name(id), Buckets: m[id]}
+	}
+	return out
+}
+
+// WriteJSON serializes the timeline. Resources are sorted by ID and names
+// are materialized lazily, so writing is the only naming cost.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	doc := timelineJSON{
+		BucketWidth: float64(t.width),
+		Links:       seriesOf(t.links, func(id int) string { return t.plat.LinkByID(id).Name() }),
+		Hosts:       seriesOf(t.hosts, func(id int) string { return t.plat.HostByID(id).Name() }),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -111,7 +111,7 @@ func TestRandomIsSeedDeterministic(t *testing.T) {
 	}
 	for i := range a {
 		if a[i] != b[i] {
-			t.Fatalf("same seed maps rank %d to %s then %s", i, a[i].Name, b[i].Name)
+			t.Fatalf("same seed maps rank %d to %s then %s", i, a[i].Name(), b[i].Name())
 		}
 	}
 	c, err := Generate("random", p, 64, 43)

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"fmt"
+	"sort"
 
 	"smpigo/internal/core"
 	"smpigo/internal/lmm"
@@ -84,22 +85,24 @@ func (s ClusterSpec) Build() (*Platform, error) {
 	p.Reserve(n, 3*len(s.Cabinets)+2*n+1)
 
 	// prefix[ci] is the number of nodes in cabinets before ci; the router
-	// derives every link index from it (see clusterRouter).
+	// derives every link index from it (see clusterRouter), and the link
+	// namer inverts the same arithmetic to answer Name() on demand.
 	prefix := make([]int, len(s.Cabinets))
-	for ci, count := range s.Cabinets {
+	for ci := range s.Cabinets {
 		if ci > 0 {
 			prefix[ci] = prefix[ci-1] + s.Cabinets[ci-1]
 		}
-		p.AddLink(fmt.Sprintf("%s-cab%d-up", s.Name, ci), s.UplinkBandwidth, s.UplinkLatency, lmm.Shared)
-		p.AddLink(fmt.Sprintf("%s-cab%d-down", s.Name, ci), s.UplinkBandwidth, s.UplinkLatency, lmm.Shared)
-		p.AddLink(fmt.Sprintf("%s-cab%d-backplane", s.Name, ci),
-			s.CabinetBackplaneBandwidth, s.CabinetBackplaneLatency, lmm.Shared)
+	}
+	p.SetLinkNamer(s.linkNamer(prefix, 3*len(s.Cabinets)+2*n))
+	for ci, count := range s.Cabinets {
+		p.NewLink(s.UplinkBandwidth, s.UplinkLatency, lmm.Shared)                     // cab up
+		p.NewLink(s.UplinkBandwidth, s.UplinkLatency, lmm.Shared)                     // cab down
+		p.NewLink(s.CabinetBackplaneBandwidth, s.CabinetBackplaneLatency, lmm.Shared) // backplane
 		for ni := 0; ni < count; ni++ {
-			id := prefix[ci] + ni
-			h := p.AddHost(fmt.Sprintf("%s-%d", s.Name, id), s.NodeSpeed)
+			h := p.NewHost(s.NodeSpeed)
 			h.Cabinet = ci
-			p.AddLink(fmt.Sprintf("%s-up-%d", s.Name, id), s.NodeLinkBandwidth, s.NodeLinkLatency, lmm.Shared)
-			p.AddLink(fmt.Sprintf("%s-down-%d", s.Name, id), s.NodeLinkBandwidth, s.NodeLinkLatency, lmm.Shared)
+			p.NewLink(s.NodeLinkBandwidth, s.NodeLinkLatency, lmm.Shared) // node up
+			p.NewLink(s.NodeLinkBandwidth, s.NodeLinkLatency, lmm.Shared) // node down
 		}
 	}
 
@@ -107,7 +110,7 @@ func (s ClusterSpec) Build() (*Platform, error) {
 	if s.BackboneFatPipe {
 		policy = lmm.FatPipe
 	}
-	backbone := p.AddLink(s.Name+"-backbone", s.BackboneBandwidth, s.BackboneLatency, policy)
+	backbone := p.NewLink(s.BackboneBandwidth, s.BackboneLatency, policy)
 
 	p.SetRouter(&clusterRouter{p: p, prefix: prefix, backbone: backbone.ID})
 	diameter := 3 // up, backplane, down
@@ -132,6 +135,35 @@ func (s ClusterSpec) Build() (*Platform, error) {
 		BisectionBandwidth: bisection,
 	}
 	return p, nil
+}
+
+// linkNamer returns the derived-name function of cluster links: the inverse
+// of the build-order link IDs (per cabinet ci: cab-up, cab-down, backplane,
+// then an up/down pair per node; the backbone last at ID total). It is only
+// consulted when a link's name is actually wanted, never while routing.
+func (s ClusterSpec) linkNamer(prefix []int, total int) func(id int) string {
+	return func(id int) string {
+		if id >= total {
+			return s.Name + "-backbone"
+		}
+		// Largest ci with cabBase(ci) <= id, where cabBase(ci) = 3*ci +
+		// 2*prefix[ci] is increasing in ci.
+		ci := sort.Search(len(prefix)-1, func(c int) bool { return 3*(c+1)+2*prefix[c+1] > id })
+		off := id - (3*ci + 2*prefix[ci])
+		switch off {
+		case 0:
+			return fmt.Sprintf("%s-cab%d-up", s.Name, ci)
+		case 1:
+			return fmt.Sprintf("%s-cab%d-down", s.Name, ci)
+		case 2:
+			return fmt.Sprintf("%s-cab%d-backplane", s.Name, ci)
+		}
+		hostID := prefix[ci] + (off-3)/2
+		if (off-3)%2 == 0 {
+			return fmt.Sprintf("%s-up-%d", s.Name, hostID)
+		}
+		return fmt.Sprintf("%s-down-%d", s.Name, hostID)
+	}
 }
 
 // clusterRouter is the implicit router of cluster platforms. Link IDs

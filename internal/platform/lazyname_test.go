@@ -1,0 +1,122 @@
+package platform
+
+// Tests for lazy name materialization: NewHost/NewLink store no names
+// (derived from the slab index and the registered link namer), AddHost/
+// AddLink switch to explicit mode by materializing what exists, and the
+// derived-mode Host() lookup inverts the prefix scheme with a strict
+// round-trip check.
+
+import (
+	"fmt"
+	"testing"
+
+	"smpigo/internal/lmm"
+)
+
+func TestDerivedHostNamesRoundTrip(t *testing.T) {
+	p := New("big")
+	for i := 0; i < 12; i++ {
+		p.NewHost(1e9)
+	}
+	for i, h := range p.Hosts() {
+		want := fmt.Sprintf("big-%d", i)
+		if h.Name() != want {
+			t.Errorf("host %d name = %q, want %q", i, h.Name(), want)
+		}
+		if got := p.Host(want); got != h {
+			t.Errorf("Host(%q) = %v, want host %d", want, got, i)
+		}
+	}
+}
+
+func TestDerivedHostLookupIsStrict(t *testing.T) {
+	p := New("big")
+	for i := 0; i < 12; i++ {
+		p.NewHost(1e9)
+	}
+	// Only the exact spelling Name() produces resolves: no leading zeros,
+	// no signs, no out-of-range IDs, no foreign prefixes.
+	for _, bad := range []string{"big-007", "big-+7", "big--1", "big-12", "big-", "big-7 ", "small-7", "7"} {
+		if got := p.Host(bad); got != nil {
+			t.Errorf("Host(%q) = %s, want nil", bad, got.Name())
+		}
+	}
+}
+
+func TestDerivedLinkNamer(t *testing.T) {
+	p := New("net")
+	// Without a namer, links fall back to "<platform>-link-<ID>".
+	l0 := p.NewLink(1e9, 0, lmm.Shared)
+	if l0.Name() != "net-link-0" {
+		t.Errorf("default link name = %q", l0.Name())
+	}
+	// A registered namer takes over for every derived link, old and new.
+	p.SetLinkNamer(func(id int) string { return fmt.Sprintf("net-edge%d", id) })
+	l1 := p.NewLink(1e9, 0, lmm.Shared)
+	if l0.Name() != "net-edge0" || l1.Name() != "net-edge1" {
+		t.Errorf("namer-derived names = %q, %q", l0.Name(), l1.Name())
+	}
+}
+
+func TestMixedExplicitAndDerivedHosts(t *testing.T) {
+	p := New("mix")
+	h0 := p.NewHost(1e9)
+	h1 := p.AddHost("gateway", 2e9) // materializes h0's derived name
+	h2 := p.NewHost(1e9)            // derived name recorded in explicit mode
+	cases := []struct {
+		h    *Host
+		want string
+	}{{h0, "mix-0"}, {h1, "gateway"}, {h2, "mix-2"}}
+	for _, c := range cases {
+		if c.h.Name() != c.want {
+			t.Errorf("host %d name = %q, want %q", c.h.ID, c.h.Name(), c.want)
+		}
+		if got := p.Host(c.want); got != c.h {
+			t.Errorf("Host(%q) = %v, want host %d", c.want, got, c.h.ID)
+		}
+	}
+	if got := p.Host("mix-1"); got != nil {
+		t.Errorf("Host(\"mix-1\") = %s; explicit names must not shadow-resolve", got.Name())
+	}
+}
+
+func TestMixedExplicitAndDerivedLinks(t *testing.T) {
+	p := New("mix")
+	p.SetLinkNamer(func(id int) string { return fmt.Sprintf("mix-wire%d", id) })
+	l0 := p.NewLink(1e9, 0, lmm.Shared)
+	l1 := p.AddLink("uplink", 1e9, 0, lmm.FatPipe) // materializes l0
+	l2 := p.NewLink(1e9, 0, lmm.Shared)
+	for _, c := range []struct {
+		l    *Link
+		want string
+	}{{l0, "mix-wire0"}, {l1, "uplink"}, {l2, "mix-wire2"}} {
+		if c.l.Name() != c.want {
+			t.Errorf("link %d name = %q, want %q", c.l.ID, c.l.Name(), c.want)
+		}
+	}
+}
+
+// TestDerivedModeStoresNoNames pins the memory contract: a platform built
+// entirely through NewHost/NewLink keeps no per-name storage at all.
+func TestDerivedModeStoresNoNames(t *testing.T) {
+	p := New("lean")
+	p.SetLinkNamer(func(id int) string { return fmt.Sprintf("lean-l%d", id) })
+	for i := 0; i < 100; i++ {
+		p.NewHost(1e9)
+		p.NewLink(1e9, 0, lmm.Shared)
+	}
+	if p.hostNames != nil || p.linkNames != nil || p.byName != nil {
+		t.Error("derived-only platform materialized name storage")
+	}
+	// Forcing every name out does not change that: naming is a pure
+	// function of the ID, consulted per call.
+	for _, h := range p.Hosts() {
+		_ = h.Name()
+	}
+	for _, l := range p.Links() {
+		_ = l.Name()
+	}
+	if p.hostNames != nil || p.linkNames != nil {
+		t.Error("Name() calls materialized name storage")
+	}
+}

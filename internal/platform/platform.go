@@ -2,6 +2,8 @@ package platform
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"smpigo/internal/core"
 	"smpigo/internal/lmm"
@@ -11,8 +13,6 @@ import (
 type Host struct {
 	// ID is the dense index of the host inside its platform.
 	ID int
-	// Name is the unique host name, e.g. "griffon-12".
-	Name string
 	// Speed is the compute speed in flop/s, used to convert flop amounts
 	// into delays and to scale timings between host and target nodes.
 	Speed float64
@@ -22,14 +22,20 @@ type Host struct {
 	// or -1 when the platform has no group structure. Placement mappers use
 	// it to lay ranks out within or across groups.
 	Cabinet int
+
+	p *Platform
 }
+
+// Name returns the unique host name, e.g. "griffon-12". Hosts created with
+// NewHost derive it on demand from the platform name and the slab index
+// ("<platform>-<ID>", the scheme every builder uses) so nothing is stored
+// per host; hosts created with AddHost return their explicit name.
+func (h *Host) Name() string { return h.p.hostName(h.ID) }
 
 // Link is a network resource with a capacity and a traversal latency.
 type Link struct {
 	// ID is the dense index of the link inside its platform.
 	ID int
-	// Name is the unique link name, e.g. "griffon-up-12".
-	Name string
 	// Bandwidth is the link capacity in bytes per second.
 	Bandwidth float64
 	// Latency is the time a byte takes to traverse the link.
@@ -37,7 +43,16 @@ type Link struct {
 	// Policy selects contention behaviour: Shared links divide Bandwidth
 	// among crossing flows; FatPipe links cap each flow individually.
 	Policy lmm.SharingPolicy
+
+	p *Platform
 }
+
+// Name returns the unique link name, e.g. "griffon-up-12". Links created
+// with NewLink derive it on demand from the installed link namer (builders
+// register the inverse of their build-order link-ID arithmetic via
+// SetLinkNamer) so nothing is stored per link; links created with AddLink
+// return their explicit name.
+func (l *Link) Name() string { return l.p.linkName(l.ID) }
 
 // TopoInfo describes the structural family and metrics of a built platform.
 // Builders that know their interconnect shape (the cluster builder here, the
@@ -94,10 +109,12 @@ const slabSize = 1 << 12
 // Hosts and links live in contiguous array-of-structs slabs — one bulk
 // allocation per Reserve call or per slabSize objects — and are addressed
 // internally by dense IDs; the *Host/*Link pointers handed to callers are
-// stable views into the slabs. A 65536-host platform is therefore a few
-// hundred bytes per host, dominated by names, with no per-object or
-// per-pair bookkeeping: routes are computed on demand by the installed
-// Router, never stored per pair.
+// stable views into the slabs. Builders create hosts and links through
+// NewHost/NewLink, whose names are derived on demand from the slab index
+// (hosts) or the registered link namer (links) — nothing is stored per
+// name, so a 65536-host platform costs a couple hundred bytes per host with
+// no per-object or per-pair bookkeeping: routes are computed on demand by
+// the installed Router, never stored per pair.
 type Platform struct {
 	Name string
 	// Topo describes the interconnect family and structural metrics when the
@@ -108,7 +125,20 @@ type Platform struct {
 	linkSlabs [][]Link
 	hosts     []*Host
 	links     []*Link
-	byName    map[string]*Host
+
+	// hostPrefix derives NewHost names as hostPrefix + itoa(ID); it defaults
+	// to Name + "-", the scheme every builder uses.
+	hostPrefix string
+	// linkNamer derives NewLink names from the link ID (see SetLinkNamer).
+	linkNamer func(id int) string
+	// hostNames/linkNames hold explicit names; nil while every host/link is
+	// derived (the scalable mode). The first AddHost/AddLink materializes the
+	// derived names of earlier objects, so the two modes can mix.
+	hostNames []string
+	linkNames []string
+	// byName indexes explicitly named hosts; nil in derived mode, where
+	// Host() inverts the prefix scheme instead.
+	byName map[string]*Host
 
 	// router computes routes between distinct hosts. The cluster builder
 	// and the topology generators install implicit routers (closed-form,
@@ -121,7 +151,59 @@ type Platform struct {
 
 // New returns an empty platform.
 func New(name string) *Platform {
-	return &Platform{Name: name, byName: make(map[string]*Host)}
+	return &Platform{Name: name, hostPrefix: name + "-"}
+}
+
+// hostName resolves a host ID to its name (see Host.Name).
+func (p *Platform) hostName(id int) string {
+	if p.hostNames != nil {
+		return p.hostNames[id]
+	}
+	return p.hostPrefix + strconv.Itoa(id)
+}
+
+// linkName resolves a link ID to its name (see Link.Name).
+func (p *Platform) linkName(id int) string {
+	if p.linkNames != nil {
+		return p.linkNames[id]
+	}
+	if p.linkNamer != nil {
+		return p.linkNamer(id)
+	}
+	return p.Name + "-link-" + strconv.Itoa(id)
+}
+
+// SetLinkNamer installs the derived-name function for links created with
+// NewLink: the inverse of the builder's build-order link-ID arithmetic.
+// The namer must be pure and must keep answering for every existing derived
+// link; it is consulted only when a link's name is actually wanted (error
+// messages, reports, lookups), never on the routing or event hot paths.
+func (p *Platform) SetLinkNamer(fn func(id int) string) { p.linkNamer = fn }
+
+// materializeHostNames switches host naming to explicit mode, capturing the
+// derived names of every existing host. Called by the first AddHost.
+func (p *Platform) materializeHostNames() {
+	if p.hostNames != nil {
+		return
+	}
+	p.hostNames = make([]string, len(p.hosts), cap(p.hosts))
+	p.byName = make(map[string]*Host, cap(p.hosts))
+	for i := range p.hosts {
+		p.hostNames[i] = p.hostPrefix + strconv.Itoa(i)
+		p.byName[p.hostNames[i]] = p.hosts[i]
+	}
+}
+
+// materializeLinkNames is materializeHostNames for links.
+func (p *Platform) materializeLinkNames() {
+	if p.linkNames != nil {
+		return
+	}
+	names := make([]string, len(p.links), cap(p.links))
+	for i := range names {
+		names[i] = p.linkName(i) // still derived: linkNames is nil here
+	}
+	p.linkNames = names
 }
 
 // Reserve pre-allocates storage for the given numbers of additional hosts
@@ -137,9 +219,6 @@ func (p *Platform) Reserve(hosts, links int) {
 			copy(grown, p.hosts)
 			p.hosts = grown
 		}
-		if len(p.byName) == 0 {
-			p.byName = make(map[string]*Host, hosts)
-		}
 	}
 	if links > 0 {
 		p.linkSlabs = append(p.linkSlabs, make([]Link, 0, links))
@@ -151,8 +230,34 @@ func (p *Platform) Reserve(hosts, links int) {
 	}
 }
 
-// AddHost creates a host. Host names must be unique.
+// NewHost creates a host whose name is derived on demand from the slab
+// index ("<platform>-<ID>"), storing nothing per name. This is the scalable
+// path every builder uses; hand-built platforms wanting arbitrary names use
+// AddHost instead.
+func (p *Platform) NewHost(speed float64) *Host {
+	if n := len(p.hostSlabs); n == 0 || len(p.hostSlabs[n-1]) == cap(p.hostSlabs[n-1]) {
+		p.hostSlabs = append(p.hostSlabs, make([]Host, 0, slabSize))
+	}
+	slab := &p.hostSlabs[len(p.hostSlabs)-1]
+	*slab = append(*slab, Host{ID: len(p.hosts), Speed: speed, Cabinet: -1, p: p})
+	h := &(*slab)[len(*slab)-1]
+	p.hosts = append(p.hosts, h)
+	if p.hostNames != nil {
+		// Explicit mode was already entered: record the derived name so
+		// hostNames keeps covering every host.
+		name := p.hostPrefix + strconv.Itoa(h.ID)
+		p.hostNames = append(p.hostNames, name)
+		p.byName[name] = h
+	}
+	return h
+}
+
+// AddHost creates a host with an explicit name. Host names must be unique.
+// The first AddHost on a platform materializes the derived names of any
+// NewHost-created hosts, so mixing the two modes is allowed — but a
+// platform that never calls AddHost stores no names at all.
 func (p *Platform) AddHost(name string, speed float64) *Host {
+	p.materializeHostNames()
 	if _, dup := p.byName[name]; dup {
 		panic(fmt.Sprintf("platform: duplicate host %q", name))
 	}
@@ -160,22 +265,48 @@ func (p *Platform) AddHost(name string, speed float64) *Host {
 		p.hostSlabs = append(p.hostSlabs, make([]Host, 0, slabSize))
 	}
 	slab := &p.hostSlabs[len(p.hostSlabs)-1]
-	*slab = append(*slab, Host{ID: len(p.hosts), Name: name, Speed: speed, Cabinet: -1})
+	*slab = append(*slab, Host{ID: len(p.hosts), Speed: speed, Cabinet: -1, p: p})
 	h := &(*slab)[len(*slab)-1]
 	p.hosts = append(p.hosts, h)
+	p.hostNames = append(p.hostNames, name)
 	p.byName[name] = h
 	return h
 }
 
-// AddLink creates a link.
-func (p *Platform) AddLink(name string, bandwidth float64, latency core.Duration, policy lmm.SharingPolicy) *Link {
+// NewLink creates a link whose name is derived on demand from the link
+// namer registered with SetLinkNamer (or "<platform>-link-<ID>" without
+// one), storing nothing per name.
+func (p *Platform) NewLink(bandwidth float64, latency core.Duration, policy lmm.SharingPolicy) *Link {
 	if n := len(p.linkSlabs); n == 0 || len(p.linkSlabs[n-1]) == cap(p.linkSlabs[n-1]) {
 		p.linkSlabs = append(p.linkSlabs, make([]Link, 0, slabSize))
 	}
 	slab := &p.linkSlabs[len(p.linkSlabs)-1]
-	*slab = append(*slab, Link{ID: len(p.links), Name: name, Bandwidth: bandwidth, Latency: latency, Policy: policy})
+	*slab = append(*slab, Link{ID: len(p.links), Bandwidth: bandwidth, Latency: latency, Policy: policy, p: p})
 	l := &(*slab)[len(*slab)-1]
 	p.links = append(p.links, l)
+	if p.linkNames != nil {
+		name := p.Name + "-link-" + strconv.Itoa(l.ID)
+		if p.linkNamer != nil {
+			name = p.linkNamer(l.ID)
+		}
+		p.linkNames = append(p.linkNames, name)
+	}
+	return l
+}
+
+// AddLink creates a link with an explicit name. The first AddLink
+// materializes the derived names of any NewLink-created links (mirroring
+// AddHost).
+func (p *Platform) AddLink(name string, bandwidth float64, latency core.Duration, policy lmm.SharingPolicy) *Link {
+	p.materializeLinkNames()
+	if n := len(p.linkSlabs); n == 0 || len(p.linkSlabs[n-1]) == cap(p.linkSlabs[n-1]) {
+		p.linkSlabs = append(p.linkSlabs, make([]Link, 0, slabSize))
+	}
+	slab := &p.linkSlabs[len(p.linkSlabs)-1]
+	*slab = append(*slab, Link{ID: len(p.links), Bandwidth: bandwidth, Latency: latency, Policy: policy, p: p})
+	l := &(*slab)[len(*slab)-1]
+	p.links = append(p.links, l)
+	p.linkNames = append(p.linkNames, name)
 	return l
 }
 
@@ -200,8 +331,25 @@ func (p *Platform) Hosts() []*Host { return p.hosts }
 // Links returns all links in ID order.
 func (p *Platform) Links() []*Link { return p.links }
 
-// Host returns the host with the given name, or nil.
-func (p *Platform) Host(name string) *Host { return p.byName[name] }
+// Host returns the host with the given name, or nil. On a platform whose
+// hosts were all created with NewHost there is no name index to consult:
+// the lookup inverts the derived scheme instead, with a strict round-trip
+// check so only the one spelling Name() produces resolves ("<prefix>007"
+// and "<prefix>+7" are not hosts even when "<prefix>7" is).
+func (p *Platform) Host(name string) *Host {
+	if p.byName != nil {
+		return p.byName[name]
+	}
+	suffix, ok := strings.CutPrefix(name, p.hostPrefix)
+	if !ok {
+		return nil
+	}
+	id, err := strconv.Atoi(suffix)
+	if err != nil || id < 0 || id >= len(p.hosts) || strconv.Itoa(id) != suffix {
+		return nil
+	}
+	return p.hosts[id]
+}
 
 // HostByID returns the host with the given dense ID.
 func (p *Platform) HostByID(id int) *Host { return p.hosts[id] }
@@ -251,7 +399,7 @@ func (p *Platform) RouteInto(buf []*Link, a, b *Host) Route {
 		return Route{Links: buf}
 	}
 	if p.router == nil {
-		panic(fmt.Sprintf("platform %q: no router installed, no route between %q and %q", p.Name, a.Name, b.Name))
+		panic(fmt.Sprintf("platform %q: no router installed, no route between %q and %q", p.Name, a.Name(), b.Name()))
 	}
 	return p.router.RouteInto(buf, a, b)
 }

@@ -376,7 +376,7 @@ func TestMaterializedRouter(t *testing.T) {
 	hosts := p.Hosts()[:12]
 	sub := New("sub") // small platform sharing griffon's links
 	for _, h := range hosts {
-		sub.AddHost(h.Name, h.Speed).Cabinet = h.Cabinet
+		sub.AddHost(h.Name(), h.Speed).Cabinet = h.Cabinet
 	}
 	impl := p.Router()
 	tr := MaterializedRouter(sub, RouterFunc(func(a, b *Host) Route {
@@ -393,11 +393,11 @@ func TestMaterializedRouter(t *testing.T) {
 			got := tr.RouteInto(nil, a, b)
 			want := p.Route(p.HostByID(a.ID), p.HostByID(b.ID))
 			if len(got.Links) != len(want.Links) || got.Latency != want.Latency {
-				t.Fatalf("materialized route %s->%s differs: %d links vs %d", a.Name, b.Name, len(got.Links), len(want.Links))
+				t.Fatalf("materialized route %s->%s differs: %d links vs %d", a.Name(), b.Name(), len(got.Links), len(want.Links))
 			}
 			for i := range got.Links {
 				if got.Links[i] != want.Links[i] {
-					t.Fatalf("materialized route %s->%s link %d differs", a.Name, b.Name, i)
+					t.Fatalf("materialized route %s->%s link %d differs", a.Name(), b.Name(), i)
 				}
 			}
 		}

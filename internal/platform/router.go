@@ -119,7 +119,7 @@ func (t *TableRouter) RouteInto(buf []*Link, a, b *Host) Route {
 		if t.Fallback != nil {
 			return t.Fallback.RouteInto(buf, a, b)
 		}
-		panic(fmt.Sprintf("platform: %v: no route between %q and %q", t, a.Name, b.Name))
+		panic(fmt.Sprintf("platform: %v: no route between %q and %q", t, a.Name(), b.Name()))
 	}
 	if !e.reversed {
 		if cap(buf) == 0 {

@@ -77,12 +77,30 @@ type Proc struct {
 	actor *Actor
 }
 
+// Stats accumulates kernel counters when attached via the Stats field:
+// scheduling rounds (clock advances), actor resumptions, and timer
+// fulfillments. Every hook is a nil check; a kernel without stats attached
+// pays nothing.
+type Stats struct {
+	// Rounds counts clock advances — one per scheduling round in which every
+	// actor was blocked and time moved to the next event.
+	Rounds uint64
+	// ActorRuns counts actor resumptions (an actor may resume many times per
+	// round as futures fulfill).
+	ActorRuns uint64
+	// TimerFires counts futures fulfilled by the built-in timer queue.
+	TimerFires uint64
+}
+
 // Kernel drives the simulation: it owns the clock, the actor run queue, the
 // timer queue, and the registered resource models.
 type Kernel struct {
 	now    core.Time
 	models []Model
 	timers core.EventQueue
+
+	// Stats, when non-nil, accumulates kernel counters.
+	Stats *Stats
 
 	actors  []*Actor
 	runq    []*Actor
@@ -219,6 +237,9 @@ func (k *Kernel) Run() (err error) {
 			if a.done {
 				continue
 			}
+			if k.Stats != nil {
+				k.Stats.ActorRuns++
+			}
 			a.resume <- struct{}{}
 			<-k.yielded
 			if k.failure != nil {
@@ -250,6 +271,9 @@ func (k *Kernel) Run() (err error) {
 			return fmt.Errorf("simix: model scheduled event in the past (%v < %v)", next, k.now)
 		}
 		k.now = next
+		if k.Stats != nil {
+			k.Stats.Rounds++
+		}
 
 		for {
 			e := k.timers.Peek()
@@ -258,6 +282,9 @@ func (k *Kernel) Run() (err error) {
 			}
 			k.timers.Pop()
 			te := e.Payload.(timerEntry)
+			if k.Stats != nil {
+				k.Stats.TimerFires++
+			}
 			k.Fulfill(te.f, te.value)
 		}
 		for _, m := range k.models {

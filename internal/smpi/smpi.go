@@ -6,6 +6,7 @@ import (
 
 	"smpigo/internal/core"
 	"smpigo/internal/emu"
+	"smpigo/internal/obs"
 	"smpigo/internal/platform"
 	"smpigo/internal/sampling"
 	"smpigo/internal/simix"
@@ -60,6 +61,14 @@ type Config struct {
 	// replayer (package replay). Collectives are traced as the
 	// point-to-point messages they decompose into.
 	Tracer trace.Recorder
+	// Stats, when non-nil, receives the kernel and model counters of the run
+	// (see internal/obs). Leaving it nil — the default — keeps every hook a
+	// nil check; the simulated outcome is identical either way.
+	Stats *obs.Stats
+	// Usage, when non-nil, receives the drained byte/flop segments of the
+	// surf models (per-link utilization accounting; see obs.Observer and
+	// obs.Timeline). Ignored on BackendEmu, which has no drain stream.
+	Usage surf.UsageRecorder
 }
 
 func (cfg *Config) fillDefaults() error {
@@ -168,6 +177,21 @@ func Run(cfg Config, app func(*Rank)) (*Report, error) {
 	default:
 		return nil, fmt.Errorf("smpi: unknown backend %d", cfg.Backend)
 	}
+	if st := cfg.Stats; st != nil {
+		w.kernel.Stats = &st.Kernel
+		w.cpu.Instrument(&st.CPU, &st.CPULMM, &st.CPUHeap, cfg.Usage)
+		if w.snet != nil {
+			w.snet.Instrument(&st.Net, &st.NetLMM, &st.NetHeap, cfg.Usage)
+		}
+		if w.enet != nil {
+			w.enet.InstrumentHeap(&st.NetHeap)
+		}
+	} else if cfg.Usage != nil {
+		w.cpu.Instrument(nil, nil, nil, cfg.Usage)
+		if w.snet != nil {
+			w.snet.Instrument(nil, nil, nil, cfg.Usage)
+		}
+	}
 	w.reg = sampling.NewRegistry(cfg.Procs)
 
 	hosts := cfg.Hosts
@@ -237,9 +261,9 @@ func validateHosts(hosts []*platform.Host, procs int, plat *platform.Platform) e
 		if h == nil {
 			return fmt.Errorf("smpi: Config.Hosts[%d] is nil: rank %d has no host", i, i)
 		}
-		if plat.Host(h.Name) != h {
+		if plat.Host(h.Name()) != h {
 			return fmt.Errorf("smpi: rank %d pinned to host %q which is not a host of platform %q",
-				i, h.Name, plat.Name)
+				i, h.Name(), plat.Name)
 		}
 	}
 	return nil
@@ -258,8 +282,14 @@ func (w *World) transfer(src, dst *platform.Host, size int64) *simix.Future {
 	w.bytesOnWire += size
 	w.messages++
 	if w.snet != nil {
+		if w.cfg.Stats != nil {
+			w.cfg.Stats.Routes++
+		}
 		w.snet.StartFlow(w.cfg.Platform.Route(src, dst), size, f)
 	} else {
+		if w.cfg.Stats != nil {
+			w.cfg.Stats.Routes += 2 // forward and return routes per transfer
+		}
 		w.enet.Transfer(src, dst, size, f)
 	}
 	return f

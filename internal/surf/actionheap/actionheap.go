@@ -51,6 +51,21 @@ type entry[T Stamped] struct {
 	action T
 }
 
+// Stats accumulates heap counters when attached via the Stats field. Stale
+// counts the lazily discarded entries — the price of lazy invalidation —
+// and MaxLen the raw high-water entry count including stale ones, which
+// together say how much dead weight the heap carried. Every hook is a nil
+// check; a heap without stats attached pays nothing.
+type Stats struct {
+	Pushes uint64
+	// Pops counts valid entries handed to the model (Pop with ok == true).
+	Pops uint64
+	// Stale counts invalidated entries discarded by lazy pruning.
+	Stale uint64
+	// MaxLen is the high-water raw entry count, stale entries included.
+	MaxLen int
+}
+
 // Heap is a binary min-heap of stamped actions ordered by date, then push
 // sequence. The zero value is ready to use. Len counts raw entries
 // including stale ones; Peek, Pop, and NextDue prune stale entries from the
@@ -58,6 +73,9 @@ type entry[T Stamped] struct {
 type Heap[T Stamped] struct {
 	items []entry[T]
 	seq   uint64
+
+	// Stats, when non-nil, accumulates push/pop/stale counters.
+	Stats *Stats
 }
 
 // Len reports the number of entries currently stored, including stale ones
@@ -70,6 +88,12 @@ func (h *Heap[T]) Push(action T, due core.Time, gen uint64) {
 	h.items = append(h.items, entry[T]{due: due, seq: h.seq, gen: gen, action: action})
 	h.seq++
 	h.up(len(h.items) - 1)
+	if h.Stats != nil {
+		h.Stats.Pushes++
+		if len(h.items) > h.Stats.MaxLen {
+			h.Stats.MaxLen = len(h.items)
+		}
+	}
 }
 
 // prune discards stale entries from the top until the heap is empty or the
@@ -77,6 +101,9 @@ func (h *Heap[T]) Push(action T, due core.Time, gen uint64) {
 func (h *Heap[T]) prune() {
 	for len(h.items) > 0 && h.items[0].gen != h.items[0].action.Generation() {
 		h.popTop()
+		if h.Stats != nil {
+			h.Stats.Stale++
+		}
 	}
 }
 
@@ -101,6 +128,9 @@ func (h *Heap[T]) Pop() (action T, due core.Time, ok bool) {
 	}
 	top := h.items[0]
 	h.popTop()
+	if h.Stats != nil {
+		h.Stats.Pops++
+	}
 	return top.action, top.due, true
 }
 

@@ -41,6 +41,11 @@ type CPU struct {
 	startSeq uint64
 
 	completed []*cpuTask
+
+	// Observability sinks (see Instrument); nil by default, nil costs
+	// nothing.
+	stats *CPUStats
+	usage UsageRecorder
 }
 
 type cpuTask struct {
@@ -73,7 +78,7 @@ func NewCPU(kernel *simix.Kernel) *CPU {
 func (c *CPU) constraint(h *platform.Host) *lmm.Constraint {
 	con, ok := c.cons[h]
 	if !ok {
-		con = c.sys.NewConstraint(h.Name, h.Speed, lmm.Shared)
+		con = c.sys.NewConstraint(h.Name(), h.Speed, lmm.Shared)
 		c.cons[h] = con
 	}
 	return con
@@ -88,9 +93,12 @@ func (c *CPU) Execute(host *platform.Host, flops float64) *simix.Future {
 		c.kernel.FulfillAt(f, nil, c.now)
 		return f
 	}
+	if c.stats != nil {
+		c.stats.TasksStarted++
+	}
 	t := &cpuTask{host: host, remaining: flops, future: f, lastSync: c.now, seq: c.startSeq}
 	c.startSeq++
-	t.v = c.sys.NewVariable(host.Name, 1, math.Inf(1))
+	t.v = c.sys.NewVariable(host.Name(), 1, math.Inf(1))
 	t.v.Data = t
 	c.sys.Attach(t.v, c.constraint(host))
 	c.inFlight++
@@ -107,7 +115,7 @@ func (c *CPU) Delay(host *platform.Host, d core.Duration) *simix.Future {
 		// drop the burst from simulated time instead of stalling on the
 		// host constraint; fail as loudly as a stalled Execute does.
 		panic(fmt.Sprintf("surf: %v compute delay on host %q with speed %g would be silently lost",
-			d, host.Name, host.Speed))
+			d, host.Name(), host.Speed))
 	}
 	return c.Execute(host, float64(d)*host.Speed)
 }
@@ -116,6 +124,20 @@ func (c *CPU) Delay(host *platform.Host, d core.Duration) *simix.Future {
 func (t *cpuTask) sync(to core.Time) {
 	t.remaining -= t.rate * float64(to-t.lastSync)
 	t.lastSync = to
+}
+
+// drain is sync with the drained flop segment reported to the
+// observability sinks (the CPU mirror of Network.drain).
+func (c *CPU) drain(t *cpuTask, to core.Time) {
+	if c.stats != nil {
+		c.stats.Syncs++
+	}
+	if c.usage != nil {
+		if flops := t.rate * float64(to-t.lastSync); flops > 0 {
+			c.usage.RecordHost(t.host, t.lastSync, to, flops)
+		}
+	}
+	t.sync(to)
 }
 
 // stamp records t's completion date as a fresh heap entry, invalidating any
@@ -133,12 +155,12 @@ func (c *CPU) reshare(to core.Time) {
 	c.sys.Solve()
 	for _, v := range c.sys.Resolved() {
 		t := v.Data.(*cpuTask)
-		t.sync(to)
+		c.drain(t, to)
 		t.rate = v.Value
 		if t.rate <= 0 {
 			panic(fmt.Sprintf(
 				"surf: compute task with %g flops remaining on host %q allocated rate 0 (host speed %g); it would never complete",
-				t.remaining, t.host.Name, t.host.Speed))
+				t.remaining, t.host.Name(), t.host.Speed))
 		}
 		c.stamp(t, to)
 	}
@@ -178,7 +200,10 @@ func (c *CPU) Advance(to core.Time) {
 			// tolerance (float drift on huge tasks): restamp the drained
 			// remainder, as the scan kept answering now + remaining/rate.
 			c.heap.Pop()
-			t.sync(to)
+			c.drain(t, to)
+			if c.stats != nil {
+				c.stats.Restamps++
+			}
 			c.stamp(t, to)
 			continue
 		}
@@ -191,6 +216,14 @@ func (c *CPU) Advance(to core.Time) {
 	for _, t := range c.completed {
 		c.sys.RemoveVariable(t.v)
 		t.v = nil
+		if c.stats != nil {
+			c.stats.Completions++
+		}
+		if c.usage != nil && t.remaining > 0 {
+			// Final remainder: closes the task's segment stream at exactly
+			// its flop count (the Network completion path's mirror).
+			c.usage.RecordHost(t.host, t.lastSync, to, t.remaining)
+		}
 		t.gen++
 		c.inFlight--
 		c.kernel.Fulfill(t.future, nil)

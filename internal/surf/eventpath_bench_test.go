@@ -28,14 +28,23 @@ package surf_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"smpigo/internal/core"
+	"smpigo/internal/lmm"
 	"smpigo/internal/platform"
 	"smpigo/internal/simix"
 	"smpigo/internal/surf"
+	"smpigo/internal/surf/actionheap"
 	"smpigo/internal/topology"
 )
+
+// benchCounters reports whether the benchgate -counters mode asked the
+// benchmarks to run instrumented (see cmd/benchgate). The default, off,
+// measures the uninstrumented hot path — the zero-overhead contract the
+// gate baselines pin.
+func benchCounters() bool { return os.Getenv("SMPIGO_BENCH_COUNTERS") != "" }
 
 // shapes256/1024: two- and three-level fat-trees with 16-host leaves.
 const (
@@ -71,6 +80,12 @@ func benchNetEventPath(b *testing.B, shape string, random bool) {
 	k := simix.New()
 	n := surf.NewNetwork(k, surf.Ideal())
 	k.AddModel(n)
+	var netStats surf.NetworkStats
+	var lmmStats lmm.Stats
+	var heapStats actionheap.Stats
+	if benchCounters() {
+		n.Instrument(&netStats, &lmmStats, &heapStats, nil)
+	}
 	rng := rand.New(rand.NewSource(11))
 
 	size := func() int64 { return 256*core.KiB + rng.Int63n(256*core.KiB) }
@@ -121,6 +136,13 @@ func benchNetEventPath(b *testing.B, shape string, random bool) {
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
 	}
+	if benchCounters() && b.N > 0 {
+		per := 1 / float64(b.N)
+		b.ReportMetric(float64(netStats.Syncs)*per, "syncs/op")
+		b.ReportMetric(float64(lmmStats.Components)*per, "components/op")
+		b.ReportMetric(float64(lmmStats.DirtyConstraints)*per, "dirtycons/op")
+		b.ReportMetric(float64(heapStats.Stale)*per, "stale/op")
+	}
 }
 
 // benchCPUEventPath churns one compute task per host for b.N completions.
@@ -133,6 +155,12 @@ func benchCPUEventPath(b *testing.B, nhosts int) {
 	k := simix.New()
 	cpu := surf.NewCPU(k)
 	k.AddModel(cpu)
+	var cpuStats surf.CPUStats
+	var lmmStats lmm.Stats
+	var heapStats actionheap.Stats
+	if benchCounters() {
+		cpu.Instrument(&cpuStats, &lmmStats, &heapStats, nil)
+	}
 	rng := rand.New(rand.NewSource(11))
 
 	events := 0
@@ -163,6 +191,12 @@ func benchCPUEventPath(b *testing.B, nhosts int) {
 	b.ResetTimer()
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
+	}
+	if benchCounters() && b.N > 0 {
+		per := 1 / float64(b.N)
+		b.ReportMetric(float64(cpuStats.Syncs)*per, "syncs/op")
+		b.ReportMetric(float64(lmmStats.Components)*per, "components/op")
+		b.ReportMetric(float64(heapStats.Stale)*per, "stale/op")
 	}
 }
 

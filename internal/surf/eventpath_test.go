@@ -73,7 +73,7 @@ func (n *scanNet) StartFlow(route platform.Route, size int64, future *simix.Futu
 func (n *scanNet) constraint(l *platform.Link) *lmm.Constraint {
 	c, ok := n.cons[l]
 	if !ok {
-		c = n.sys.NewConstraint(l.Name, l.Bandwidth, l.Policy)
+		c = n.sys.NewConstraint(l.Name(), l.Bandwidth, l.Policy)
 		n.cons[l] = c
 	}
 	return c

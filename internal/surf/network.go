@@ -63,6 +63,11 @@ type Network struct {
 	// Per-Advance scratch, retained across steps.
 	promoted  []*flow
 	completed []*flow
+
+	// Observability sinks (see Instrument). Both nil by default; every hook
+	// compiles to a nil check, so an uninstrumented network pays nothing.
+	stats *NetworkStats
+	usage UsageRecorder
 }
 
 type flow struct {
@@ -122,9 +127,15 @@ func (n *Network) InFlight() int { return n.inFlight }
 func (n *Network) StartFlow(route platform.Route, size int64, future *simix.Future) {
 	n.now = n.kernel.Now()
 	if len(route.Links) == 0 {
+		if n.stats != nil {
+			n.stats.Loopbacks++
+		}
 		d := n.LoopbackLatency + core.Duration(float64(size)/n.LoopbackBandwidth)
 		n.kernel.FulfillAt(future, nil, n.now+d)
 		return
+	}
+	if n.stats != nil {
+		n.stats.FlowsStarted++
 	}
 	seg := n.model.Segment(size)
 	f := &flow{
@@ -145,7 +156,7 @@ func (n *Network) StartFlow(route platform.Route, size int64, future *simix.Futu
 func (n *Network) constraint(l *platform.Link) *lmm.Constraint {
 	c, ok := n.cons[l]
 	if !ok {
-		c = n.sys.NewConstraint(l.Name, l.Bandwidth, l.Policy)
+		c = n.sys.NewConstraint(l.Name(), l.Bandwidth, l.Policy)
 		n.cons[l] = c
 	}
 	return c
@@ -158,6 +169,25 @@ func (n *Network) constraint(l *platform.Link) *lmm.Constraint {
 func (f *flow) sync(to core.Time) {
 	f.remaining -= f.rate * float64(to-f.lastSync)
 	f.lastSync = to
+}
+
+// drain is sync with the drained segment reported to the observability
+// sinks: the (rate x interval) amount the sync subtracts is exactly what
+// every link of the route carried during (lastSync, to], so per-link
+// accounting piggybacks on the sync points the lazy event path already
+// visits instead of recomputing integrals.
+func (n *Network) drain(f *flow, to core.Time) {
+	if n.stats != nil {
+		n.stats.Syncs++
+	}
+	if n.usage != nil {
+		if bytes := f.rate * float64(to-f.lastSync); bytes > 0 {
+			for _, l := range f.route.Links {
+				n.usage.RecordLink(l, f.lastSync, to, bytes)
+			}
+		}
+	}
+	f.sync(to)
 }
 
 // stamp records f's completion date — the current date plus the time to
@@ -178,7 +208,7 @@ func (n *Network) reshare(to core.Time) {
 	n.sys.Solve()
 	for _, v := range n.sys.Resolved() {
 		f := v.Data.(*flow)
-		f.sync(to) // drain at the outgoing rate before it changes
+		n.drain(f, to) // drain at the outgoing rate before it changes
 		f.rate = v.Value
 		n.checkStalled(f)
 		n.stamp(f, to)
@@ -196,7 +226,7 @@ func (n *Network) checkStalled(f *flow) {
 	}
 	names := make([]string, len(f.route.Links))
 	for i, l := range f.route.Links {
-		names[i] = l.Name
+		names[i] = l.Name()
 	}
 	panic(fmt.Sprintf(
 		"surf: flow with %g bytes remaining allocated rate 0 and would never complete; route: %s (zero-bandwidth link or zero rate bound %g)",
@@ -258,10 +288,13 @@ func (n *Network) Advance(to core.Time) {
 			// due == to forever (the scan implementation livelocked at
 			// kernel level in this state) — complete instead.
 			n.heap.Pop()
-			f.sync(to)
+			n.drain(f, to)
 			if to+core.Duration(f.remaining/f.rate) <= to {
 				n.completed = append(n.completed, f)
 				continue
+			}
+			if n.stats != nil {
+				n.stats.Restamps++
 			}
 			n.stamp(f, to)
 			continue
@@ -304,6 +337,18 @@ func (n *Network) Advance(to core.Time) {
 		if f.v != nil {
 			n.sys.RemoveVariable(f.v)
 			f.v = nil
+		}
+		if n.stats != nil {
+			n.stats.Completions++
+		}
+		if n.usage != nil && f.remaining > 0 {
+			// The final remainder — the bytes between the flow's last sync
+			// and delivery, within byteTol of rate x interval — closes the
+			// flow's segment stream at exactly its size, so per-link totals
+			// conserve bytes with no tolerance at all.
+			for _, l := range f.route.Links {
+				n.usage.RecordLink(l, f.lastSync, to, f.remaining)
+			}
 		}
 		f.gen++ // invalidate any remaining heap entries
 		n.inFlight--

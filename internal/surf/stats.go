@@ -1,0 +1,76 @@
+package surf
+
+import (
+	"smpigo/internal/core"
+	"smpigo/internal/lmm"
+	"smpigo/internal/platform"
+	"smpigo/internal/surf/actionheap"
+)
+
+// NetworkStats accumulates event-path counters of a Network when attached
+// via Instrument. Every hook is a nil check; an uninstrumented network pays
+// nothing.
+type NetworkStats struct {
+	// FlowsStarted counts routed flows; Loopbacks counts empty-route
+	// transfers served by the loopback fast path (they never join sharing).
+	FlowsStarted uint64
+	Loopbacks    uint64
+	// Completions counts flows delivered.
+	Completions uint64
+	// Syncs counts lazy byte-drain syncs — one per flow whose rate a reshare
+	// changed, plus the overdue-restamp drains.
+	Syncs uint64
+	// Restamps counts overdue completion entries that were re-stamped
+	// instead of completed (floating-point drift on huge transfers).
+	Restamps uint64
+}
+
+// CPUStats accumulates event-path counters of a CPU model, mirroring
+// NetworkStats for compute tasks.
+type CPUStats struct {
+	TasksStarted uint64
+	Completions  uint64
+	Syncs        uint64
+	Restamps     uint64
+}
+
+// UsageRecorder receives the byte and flop segments the lazy drain already
+// computes: every time a flow or task is synced (its rate is about to
+// change) or completes, the amount drained since its last sync is reported
+// with the simulated interval it drained over. The segments for one flow
+// sum exactly to its size — recording is piggybacked on the sync points,
+// never recomputed — which is what makes per-link accounting conservative
+// by construction (see internal/obs and its conservation test).
+//
+// Implementations must not retain the link/host pointers beyond the call
+// graph of the owning model (they are stable platform handles, so retaining
+// them is in fact safe, but treat segments as a stream).
+type UsageRecorder interface {
+	// RecordLink reports bytes drained over every link of a flow's route
+	// during (from, to]. from == to happens for the final remainder of a
+	// flow completing at its last sync date.
+	RecordLink(l *platform.Link, from, to core.Time, bytes float64)
+	// RecordHost reports flops drained on a host during (from, to].
+	RecordHost(h *platform.Host, from, to core.Time, flops float64)
+}
+
+// Instrument attaches observability sinks to the network: event-path
+// counters, the underlying LMM solver's counters, the action heap's
+// counters, and a usage recorder receiving drained byte segments. Any of
+// them may be nil; with all nil the network is back to zero overhead.
+// Attach before the simulation runs.
+func (n *Network) Instrument(stats *NetworkStats, lmmStats *lmm.Stats, heapStats *actionheap.Stats, usage UsageRecorder) {
+	n.stats = stats
+	n.sys.Stats = lmmStats
+	n.heap.Stats = heapStats
+	n.usage = usage
+}
+
+// Instrument attaches observability sinks to the CPU model, mirroring
+// Network.Instrument for compute tasks.
+func (c *CPU) Instrument(stats *CPUStats, lmmStats *lmm.Stats, heapStats *actionheap.Stats, usage UsageRecorder) {
+	c.stats = stats
+	c.sys.Stats = lmmStats
+	c.heap.Stats = heapStats
+	c.usage = usage
+}

@@ -82,15 +82,49 @@ func (s DragonflySpec) Build() (*platform.Platform, error) {
 	g, a, ph := s.Groups, s.RoutersPerGroup, s.HostsPerRouter
 	n := s.Hosts()
 	p.Reserve(n, 2*n+g*a*(a-1)+g*(g-1))
+	localBase, globalBase := 2*n, 2*n+g*a*(a-1)
+	// Link names are derived on demand by inverting the three build-order
+	// ranges: host up/down pairs, then directed locals in (group, r1, r2)
+	// order, then global pairs in lexicographic order (forward, backward).
+	p.SetLinkNamer(func(id int) string {
+		switch {
+		case id < localBase:
+			dir := "-up"
+			if id%2 == 1 {
+				dir = "-down"
+			}
+			return fmt.Sprintf("%s-%d%s", s.Name, id/2, dir)
+		case id < globalBase:
+			off := id - localBase
+			gi := off / (a * (a - 1))
+			rem := off % (a * (a - 1))
+			r1, r2 := rem/(a-1), rem%(a-1)
+			if r2 >= r1 {
+				r2++ // the r1 == r2 slot was skipped
+			}
+			return fmt.Sprintf("%s-g%d-r%d-r%d", s.Name, gi, r1, r2)
+		default:
+			off := id - globalBase
+			pair, back := off/2, off%2
+			lo := 0
+			for pair >= g-1-lo {
+				pair -= g - 1 - lo
+				lo++
+			}
+			hi := lo + 1 + pair
+			if back == 1 {
+				lo, hi = hi, lo
+			}
+			return fmt.Sprintf("%s-g%d-g%d", s.Name, lo, hi)
+		}
+	})
 	for i := 0; i < n; i++ {
-		host := p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+		host := p.NewHost(s.HostSpeed)
 		// The router is the lowest-level group: its hosts reach each other
 		// in two links; placement mappers lay ranks out by it.
 		host.Cabinet = i / ph
-		p.AddLink(fmt.Sprintf("%s-%d-up", s.Name, i),
-			s.HostLinkBandwidth, s.HostLinkLatency, lmm.Shared)
-		p.AddLink(fmt.Sprintf("%s-%d-down", s.Name, i),
-			s.HostLinkBandwidth, s.HostLinkLatency, lmm.Shared)
+		p.NewLink(s.HostLinkBandwidth, s.HostLinkLatency, lmm.Shared) // up
+		p.NewLink(s.HostLinkBandwidth, s.HostLinkLatency, lmm.Shared) // down
 	}
 	// Directed local links r1 -> r2 inside each group, in (group, r1, r2)
 	// order; a*(a-1) links per group.
@@ -100,8 +134,7 @@ func (s DragonflySpec) Build() (*platform.Platform, error) {
 				if r1 == r2 {
 					continue
 				}
-				p.AddLink(fmt.Sprintf("%s-g%d-r%d-r%d", s.Name, gi, r1, r2),
-					s.LocalBandwidth, s.LocalLatency, lmm.Shared)
+				p.NewLink(s.LocalBandwidth, s.LocalLatency, lmm.Shared)
 			}
 		}
 	}
@@ -109,10 +142,8 @@ func (s DragonflySpec) Build() (*platform.Platform, error) {
 	// then backward, pairs in (gi, gj) lexicographic order.
 	for gi := 0; gi < g; gi++ {
 		for gj := gi + 1; gj < g; gj++ {
-			p.AddLink(fmt.Sprintf("%s-g%d-g%d", s.Name, gi, gj),
-				s.GlobalBandwidth, s.GlobalLatency, lmm.Shared)
-			p.AddLink(fmt.Sprintf("%s-g%d-g%d", s.Name, gj, gi),
-				s.GlobalBandwidth, s.GlobalLatency, lmm.Shared)
+			p.NewLink(s.GlobalBandwidth, s.GlobalLatency, lmm.Shared)
+			p.NewLink(s.GlobalBandwidth, s.GlobalLatency, lmm.Shared)
 		}
 	}
 

@@ -102,9 +102,24 @@ func (s FatTreeSpec) Build() (*platform.Platform, error) {
 		levelBase[l+1] = levelBase[l] + 2*children*s.Up[l-1]
 	}
 	p.Reserve(n, levelBase[h+1])
+	// Link names are derived on demand by inverting the build order (level
+	// by level, cable by cable, up then down) instead of being stored.
+	p.SetLinkNamer(func(id int) string {
+		l := 1
+		for l < h && levelBase[l+1] <= id {
+			l++
+		}
+		off := id - levelBase[l]
+		cable := off / 2
+		dir := "-up"
+		if off%2 == 1 {
+			dir = "-down"
+		}
+		return fmt.Sprintf("%s-l%d-c%d-p%d%s", s.Name, l, cable/s.Up[l-1], cable%s.Up[l-1], dir)
+	})
 
 	for i := 0; i < n; i++ {
-		host := p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+		host := p.NewHost(s.HostSpeed)
 		// The leaf switch is the lowest-level group: placement mappers use
 		// it to pack ranks under (or spread them across) leaf switches.
 		host.Cabinet = i / s.Down[0]
@@ -113,9 +128,8 @@ func (s FatTreeSpec) Build() (*platform.Platform, error) {
 		children := (n / prodDown[l-1]) * prodUp[l-1]
 		for c := 0; c < children; c++ {
 			for j := 0; j < s.Up[l-1]; j++ {
-				base := fmt.Sprintf("%s-l%d-c%d-p%d", s.Name, l, c, j)
-				p.AddLink(base+"-up", s.LinkBandwidth, s.LinkLatency, lmm.Shared)
-				p.AddLink(base+"-down", s.LinkBandwidth, s.LinkLatency, lmm.Shared)
+				p.NewLink(s.LinkBandwidth, s.LinkLatency, lmm.Shared) // up
+				p.NewLink(s.LinkBandwidth, s.LinkLatency, lmm.Shared) // down
 			}
 		}
 	}

@@ -21,7 +21,7 @@ import (
 func linkIndex(p *platform.Platform) map[string]*platform.Link {
 	idx := make(map[string]*platform.Link, len(p.Links()))
 	for _, l := range p.Links() {
-		idx[l.Name] = l
+		idx[l.Name()] = l
 	}
 	return idx
 }
@@ -172,19 +172,19 @@ func TestImplicitRoutesMatchReference(t *testing.T) {
 					want := ref(a, b)
 					if len(got.Links) != len(want) {
 						t.Fatalf("%s -> %s: %d links, reference has %d",
-							a.Name, b.Name, len(got.Links), len(want))
+							a.Name(), b.Name(), len(got.Links), len(want))
 					}
 					var wantLat core.Duration
 					for i, l := range want {
 						if got.Links[i] != l {
 							t.Fatalf("%s -> %s link %d: got %q, reference %q",
-								a.Name, b.Name, i, got.Links[i].Name, l.Name)
+								a.Name(), b.Name(), i, got.Links[i].Name(), l.Name())
 						}
 						wantLat += l.Latency
 					}
 					if got.Latency != wantLat {
 						t.Fatalf("%s -> %s: latency %v, reference %v",
-							a.Name, b.Name, got.Latency, wantLat)
+							a.Name(), b.Name(), got.Latency, wantLat)
 					}
 				}
 			}

@@ -16,7 +16,7 @@ func routeNames(p *platform.Platform, a, b *platform.Host) []string {
 	r := p.Route(a, b)
 	names := make([]string, len(r.Links))
 	for i, l := range r.Links {
-		names[i] = l.Name
+		names[i] = l.Name()
 	}
 	return names
 }
@@ -33,7 +33,7 @@ func maxHops(t *testing.T, p *platform.Platform) int {
 			r := p.Route(a, b)
 			if len(r.Links) == 0 || r.Latency <= 0 {
 				t.Fatalf("degenerate route %s -> %s: %d links, latency %v",
-					a.Name, b.Name, len(r.Links), r.Latency)
+					a.Name(), b.Name(), len(r.Links), r.Latency)
 			}
 			if len(r.Links) > max {
 				max = len(r.Links)
@@ -137,7 +137,7 @@ func TestFatTreeDModK(t *testing.T) {
 			continue
 		}
 		r := p.Route(src, dst)
-		tail := []string{r.Links[len(r.Links)-2].Name, r.Links[len(r.Links)-1].Name}
+		tail := []string{r.Links[len(r.Links)-2].Name(), r.Links[len(r.Links)-1].Name()}
 		if descent == nil {
 			descent = tail
 		} else if !reflect.DeepEqual(descent, tail) {
@@ -239,12 +239,12 @@ func TestDragonflyStructure(t *testing.T) {
 		for _, b := range p.Hosts()[64:] {
 			globals := 0
 			for _, l := range p.Route(a, b).Links {
-				if strings.Contains(l.Name, "-g") && strings.Count(l.Name, "-g") == 2 {
+				if strings.Contains(l.Name(), "-g") && strings.Count(l.Name(), "-g") == 2 {
 					globals++
 				}
 			}
 			if globals != 1 {
-				t.Fatalf("route %s->%s crosses %d global links, want 1", a.Name, b.Name, globals)
+				t.Fatalf("route %s->%s crosses %d global links, want 1", a.Name(), b.Name(), globals)
 			}
 		}
 	}

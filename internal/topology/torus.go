@@ -60,16 +60,24 @@ func (s TorusSpec) Build() (*platform.Platform, error) {
 	n := s.Hosts()
 	ndims := len(s.Dims)
 	p.Reserve(n, 2*n*ndims)
+	// Link names are derived on demand from the build-order IDs (host i's
+	// plus link in dimension d is i*2*ndims + 2*d, minus at +1).
+	p.SetLinkNamer(func(id int) string {
+		rem := id % (2 * ndims)
+		dir := "-plus"
+		if rem%2 == 1 {
+			dir = "-minus"
+		}
+		return fmt.Sprintf("%s-%d-d%d%s", s.Name, id/(2*ndims), rem/2, dir)
+	})
 	for i := 0; i < n; i++ {
-		host := p.AddHost(fmt.Sprintf("%s-%d", s.Name, i), s.HostSpeed)
+		host := p.NewHost(s.HostSpeed)
 		// The dimension-0 ring is the lowest-level group (neighbors there
 		// are one cable apart); placement mappers lay ranks out by it.
 		host.Cabinet = i / s.Dims[0]
 		for d := 0; d < ndims; d++ {
-			p.AddLink(fmt.Sprintf("%s-%d-d%d-plus", s.Name, i, d),
-				s.LinkBandwidth, s.LinkLatency, lmm.Shared)
-			p.AddLink(fmt.Sprintf("%s-%d-d%d-minus", s.Name, i, d),
-				s.LinkBandwidth, s.LinkLatency, lmm.Shared)
+			p.NewLink(s.LinkBandwidth, s.LinkLatency, lmm.Shared) // plus
+			p.NewLink(s.LinkBandwidth, s.LinkLatency, lmm.Shared) // minus
 		}
 	}
 
