@@ -65,7 +65,7 @@ func main() {
 
 func runFigures(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,11,12,15,16,17,18, topo (cross-topology collectives), placement (placement-vs-routing sweep), or all")
+	fig := fs.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,11,12,15,16,17,18, topo (cross-topology collectives), placement (placement-vs-routing sweep), degraded (collective slowdown vs trunk degradation), or all")
 	fast := fs.Bool("fast", false, "reduce payloads for quicker (shape-preserving) runs")
 	parallel := fs.Int("parallel", 0, "worker-pool size for each figure's simulations (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "campaign seed; per-job seeds derive from it")
@@ -159,6 +159,17 @@ func runFigures(args []string) error {
 			}
 			return r.Table, nil
 		}},
+		{"degraded", func() (*experiments.Table, error) {
+			chunk := int64(0) // default payload
+			if *fast {
+				chunk = 16 * core.KiB
+			}
+			r, err := experiments.DegradedSweep(env, chunk)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
 	}
 
 	want := strings.Split(*fig, ",")
@@ -207,6 +218,7 @@ func runCampaign(args []string) error {
 	topologiesArg := fs.String("topologies", "", "comma-separated topology axis: griffon,gdx, presets (fattree16,fattree64,torus16,torus64,dragonfly72), or shapes (fattree:4x4:1x4 torus:4x4x4 dragonfly:9x4x2)")
 	placementsArg := fs.String("placements", "", "comma-separated rank-placement axis: block,rr,random (empty = default layout)")
 	collectivesArg := fs.String("collectives", "", "collective algorithms for every job: default, auto (topology-keyed), or overrides like bcast=ring,allreduce=auto")
+	dynamicsArg := fs.String("dynamics", "", "comma-separated platform-event axis, each a dynamics schedule (\"none\" or \"@2ms link a-* scale 0.5; ...\"); schedules use ';' between events so they survive this comma-separated list")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "campaign seed; per-job seeds derive from it")
 	jsonOut := fs.Bool("json", false, "emit the full campaign summary as JSON")
@@ -244,6 +256,7 @@ func runCampaign(args []string) error {
 		Topologies:  splitList(*topologiesArg),
 		Placements:  splitList(*placementsArg),
 		Collectives: *collectivesArg,
+		Dynamics:    splitList(*dynamicsArg),
 		Stats:       *statsOn,
 	}
 

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"smpigo/internal/core"
+	"smpigo/internal/dynamics"
 	"smpigo/internal/experiments"
 	"smpigo/internal/nas"
 	"smpigo/internal/obs"
@@ -59,9 +60,10 @@ func main() {
 		statsOn   = flag.Bool("stats", false, "print kernel counters and the link hot-spot report after the run")
 		timeline  = flag.String("timeline", "", "write a per-link/per-host utilization timeline (JSON) to this file")
 		tlBucket  = flag.String("timeline-bucket", "1ms", "timeline bucket width (simulated time)")
+		dynArg    = flag.String("dynamics", "", "platform event schedule: inline grammar (\"@2ms link a-* scale 0.5; ...\"), inline JSON, or a file; \"none\" disables")
 	)
 	flag.Parse()
-	if err := run(*appName, *np, *platName, *backend, *modelName, *noCont, *chunk, *graph, *class, *ratio, *fold, *placeArg, *collArg, *seed, *traceOut, *replayIn, *statsOn, *timeline, *tlBucket); err != nil {
+	if err := run(*appName, *np, *platName, *backend, *modelName, *noCont, *chunk, *graph, *class, *ratio, *fold, *placeArg, *collArg, *seed, *traceOut, *replayIn, *statsOn, *timeline, *tlBucket, *dynArg); err != nil {
 		fmt.Fprintln(os.Stderr, "smpirun:", err)
 		os.Exit(1)
 	}
@@ -117,12 +119,22 @@ func pickModel(name string) (surf.NetModel, error) {
 func run(appName string, np int, platName, backend, modelName string, noCont bool,
 	chunkStr, graph, class string, ratio float64, fold bool,
 	placeArg, collArg string, seed uint64, traceOut, replayIn string,
-	statsOn bool, timelineOut, tlBucket string) error {
+	statsOn bool, timelineOut, tlBucket, dynArg string) error {
 	plat, err := loadPlatform(platName)
 	if err != nil {
 		return err
 	}
 	cfg := smpi.Config{Procs: np, Platform: plat, NoContention: noCont, Seed: seed}
+	if dynArg != "" {
+		sched, err := dynamics.Load(dynArg)
+		if err != nil {
+			return fmt.Errorf("bad -dynamics: %w", err)
+		}
+		cfg.Dynamics = sched
+		if sched != nil {
+			fmt.Printf("dynamics           : %d platform events\n", len(sched.Events))
+		}
+	}
 
 	// Observability is opt-in: without -stats/-timeline the simulation runs
 	// with every instrumentation hook compiled down to a nil check.

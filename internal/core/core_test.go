@@ -3,7 +3,6 @@ package core
 import (
 	"math"
 	"testing"
-	"testing/quick"
 )
 
 func TestTimeString(t *testing.T) {
@@ -212,100 +211,5 @@ func TestRNGSplitIndependence(t *testing.T) {
 	b := r.Split()
 	if a.Uint64() == b.Uint64() {
 		t.Error("split streams should differ")
-	}
-}
-
-func TestEventQueueOrdering(t *testing.T) {
-	var q EventQueue
-	q.Push(3, "c")
-	q.Push(1, "a")
-	q.Push(2, "b")
-	want := []string{"a", "b", "c"}
-	for _, w := range want {
-		e := q.Pop()
-		if e == nil || e.Payload.(string) != w {
-			t.Fatalf("pop order wrong, want %q got %v", w, e)
-		}
-	}
-	if q.Pop() != nil {
-		t.Error("empty queue should pop nil")
-	}
-}
-
-func TestEventQueueFIFOTies(t *testing.T) {
-	var q EventQueue
-	for i := 0; i < 10; i++ {
-		q.Push(1, i)
-	}
-	for i := 0; i < 10; i++ {
-		if got := q.Pop().Payload.(int); got != i {
-			t.Fatalf("tie-break not FIFO: got %d want %d", got, i)
-		}
-	}
-}
-
-func TestEventQueueRemove(t *testing.T) {
-	var q EventQueue
-	a := q.Push(1, "a")
-	b := q.Push(2, "b")
-	c := q.Push(3, "c")
-	if !q.Remove(b) {
-		t.Fatal("Remove(b) should succeed")
-	}
-	if q.Remove(b) {
-		t.Fatal("double Remove should report false")
-	}
-	if e := q.Pop(); e != a {
-		t.Fatalf("want a, got %v", e.Payload)
-	}
-	if e := q.Pop(); e != c {
-		t.Fatalf("want c, got %v", e.Payload)
-	}
-	if q.Remove(nil) {
-		t.Error("Remove(nil) should be a no-op")
-	}
-}
-
-func TestEventQueuePeek(t *testing.T) {
-	var q EventQueue
-	if q.Peek() != nil {
-		t.Error("peek on empty should be nil")
-	}
-	q.Push(5, "x")
-	q.Push(4, "y")
-	if q.Peek().Payload.(string) != "y" {
-		t.Error("peek should return earliest")
-	}
-	if q.Len() != 2 {
-		t.Error("peek must not consume")
-	}
-}
-
-// Property: popping a randomly-filled queue yields dates in non-decreasing
-// order, with and without interleaved removals.
-func TestEventQueueHeapProperty(t *testing.T) {
-	f := func(dates []uint16, removeMask []bool) bool {
-		var q EventQueue
-		var handles []*Event
-		for _, d := range dates {
-			handles = append(handles, q.Push(Time(d), int(d)))
-		}
-		for i, h := range handles {
-			if i < len(removeMask) && removeMask[i] {
-				q.Remove(h)
-			}
-		}
-		last := Time(-1)
-		for q.Len() > 0 {
-			e := q.Pop()
-			if e.At < last {
-				return false
-			}
-			last = e.At
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Error(err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"smpigo/internal/campaign"
 	"smpigo/internal/core"
 )
 
@@ -550,5 +551,68 @@ func TestPlacementSweep(t *testing.T) {
 	}
 	if tb, trr := a.Times["torus:4x4x4/allreduce(ring)/block"], a.Times["torus:4x4x4/allreduce(ring)/rr"]; tb != trr {
 		t.Errorf("torus ring allreduce: block %v vs rr %v, want an exact tie (vertex transitivity)", tb, trr)
+	}
+}
+
+// TestDynamicsFingerprintDeterministic sweeps the platform-event axis and
+// checks the acceptance property: a campaign with mid-flight link
+// degradation fingerprints bit-identically at any -parallel worker count,
+// and the degraded scenario is measurably slower than the static one.
+func TestDynamicsFingerprintDeterministic(t *testing.T) {
+	e := env(t)
+	spec := GridSpec{
+		Op:         "alltoall",
+		Procs:      []int{16},
+		Sizes:      []int64{64 * core.KiB},
+		Models:     []string{"piecewise"},
+		Backends:   []string{"surf"},
+		Topologies: []string{"fattree16"},
+		Dynamics:   []string{"none", "@0.0005s link fattree16-l2-* scale 0.25"},
+	}
+	var sums []*campaign.Summary
+	fingerprints := make(map[string]int)
+	for _, workers := range []int{1, 8} {
+		withCampaign(e, workers, 23, func() {
+			sum, err := e.GridCampaign(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sum.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if sum.Jobs != 2 {
+				t.Fatalf("grid expanded to %d jobs, want 2 (static + degraded)", sum.Jobs)
+			}
+			sums = append(sums, sum)
+			fingerprints[sum.Fingerprint()]++
+		})
+	}
+	if len(fingerprints) != 1 {
+		t.Errorf("dynamics-axis fingerprints differ across worker counts: %v", fingerprints)
+	}
+	static := sums[0].Results[0]
+	degraded := sums[0].Results[1]
+	if degraded.Tags["dynamics"] == "" || static.Tags["dynamics"] != "" {
+		t.Fatalf("job order unexpected: tags %v / %v", static.Tags, degraded.Tags)
+	}
+	if degraded.Outcome.SimulatedTime <= static.Outcome.SimulatedTime {
+		t.Errorf("spine degraded to 0.25 should slow the alltoall: static %v, degraded %v",
+			static.Outcome.SimulatedTime, degraded.Outcome.SimulatedTime)
+	}
+
+	// Emulated backends have no LMM constraints to retune; the axis must
+	// refuse them rather than silently ignore the schedule.
+	if _, err := e.GridCampaign(GridSpec{
+		Op: "scatter", Procs: []int{4}, Sizes: []int64{1024},
+		Backends: []string{"openmpi"}, Dynamics: []string{"@1ms link griffon-* scale 0.5"},
+	}); err == nil {
+		t.Error("dynamics on an emulated backend should fail expansion")
+	}
+	// A malformed schedule fails expansion, not the job.
+	if _, err := e.GridCampaign(GridSpec{
+		Op: "scatter", Procs: []int{4}, Sizes: []int64{1024},
+		Backends: []string{"surf"}, Dynamics: []string{"@wat link a-* scale 0.5"},
+	}); err == nil {
+		t.Error("malformed dynamics schedule should fail expansion")
 	}
 }

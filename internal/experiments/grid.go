@@ -6,6 +6,7 @@ import (
 
 	"smpigo/internal/campaign"
 	"smpigo/internal/core"
+	"smpigo/internal/dynamics"
 	"smpigo/internal/obs"
 	"smpigo/internal/placement"
 	"smpigo/internal/platform"
@@ -54,6 +55,14 @@ type GridSpec struct {
 	// defaults, "auto" for topology-keyed selection, or per-collective
 	// overrides like "bcast=ring,allreduce=auto".
 	Collectives string
+	// Dynamics optionally adds a platform-event axis: each entry is a
+	// dynamics schedule in the grammar of internal/dynamics ("" or "none"
+	// for a static platform), so a sweep can compare the same scenarios on
+	// healthy and degraded fabrics. Entries are canonicalized before
+	// expansion; non-empty schedules require the surf backend. Events mutate
+	// only per-job solver state, never the shared platform, so fingerprints
+	// stay bit-identical at any -parallel setting.
+	Dynamics []string
 	// Stats attaches a per-job obs.Stats to every simulation and records
 	// the non-zero counters in each Outcome.Stats; campaign.Run aggregates
 	// them into Summary.Stats. Counters never enter the fingerprint, so a
@@ -64,6 +73,7 @@ type GridSpec struct {
 // gridPoint is one scenario coordinate of the expanded grid.
 type gridPoint struct {
 	topo      string // resolved platform name; empty means spec.Platform
+	dynamics  string // canonical dynamics schedule; empty means static
 	placement string // canonical placement policy; empty means unpinned
 	procs     int
 	size      int64
@@ -154,6 +164,23 @@ func (spec GridSpec) expand() ([]gridPoint, error) {
 	if len(places) == 0 {
 		places = []string{""}
 	}
+	// Canonicalize the dynamics axis up front so "2ms" and "0.002s" variants
+	// of one schedule collapse to one grid point.
+	dyns := make([]string, 0, len(spec.Dynamics))
+	for _, d := range spec.Dynamics {
+		sched, err := dynamics.Parse(d)
+		if err != nil {
+			return nil, fmt.Errorf("grid: dynamics %q: %w", d, err)
+		}
+		if sched == nil {
+			dyns = append(dyns, "")
+		} else {
+			dyns = append(dyns, sched.String())
+		}
+	}
+	if len(dyns) == 0 {
+		dyns = []string{""}
+	}
 	seen := make(map[gridPoint]bool)
 	var points []gridPoint
 	add := func(pt gridPoint) {
@@ -163,30 +190,35 @@ func (spec GridSpec) expand() ([]gridPoint, error) {
 		}
 	}
 	for _, topo := range topos {
-		for _, place := range places {
-			for _, procs := range procCounts {
-				if procs < 2 {
-					return nil, fmt.Errorf("grid: process count %d below 2", procs)
-				}
-				for _, size := range spec.Sizes {
-					if size <= 0 {
-						return nil, fmt.Errorf("grid: non-positive size %d", size)
+		for _, dyn := range dyns {
+			for _, place := range places {
+				for _, procs := range procCounts {
+					if procs < 2 {
+						return nil, fmt.Errorf("grid: process count %d below 2", procs)
 					}
-					for _, backend := range spec.Backends {
-						backend = strings.ToLower(backend)
-						switch backend {
-						case "surf":
-							models := spec.Models
-							if len(models) == 0 {
-								models = []string{"piecewise"}
+					for _, size := range spec.Sizes {
+						if size <= 0 {
+							return nil, fmt.Errorf("grid: non-positive size %d", size)
+						}
+						for _, backend := range spec.Backends {
+							backend = strings.ToLower(backend)
+							switch backend {
+							case "surf":
+								models := spec.Models
+								if len(models) == 0 {
+									models = []string{"piecewise"}
+								}
+								for _, m := range models {
+									add(gridPoint{topo, dyn, place, procs, size, backend, strings.ToLower(m)})
+								}
+							case "openmpi", "mpich2":
+								if dyn != "" {
+									return nil, fmt.Errorf("grid: dynamics require the surf backend, got %q", backend)
+								}
+								add(gridPoint{topo, dyn, place, procs, size, backend, ""})
+							default:
+								return nil, fmt.Errorf("grid: unknown backend %q (want surf, openmpi, mpich2)", backend)
 							}
-							for _, m := range models {
-								add(gridPoint{topo, place, procs, size, backend, strings.ToLower(m)})
-							}
-						case "openmpi", "mpich2":
-							add(gridPoint{topo, place, procs, size, backend, ""})
-						default:
-							return nil, fmt.Errorf("grid: unknown backend %q (want surf, openmpi, mpich2)", backend)
 						}
 					}
 				}
@@ -200,6 +232,10 @@ func (pt gridPoint) id(op string) string {
 	id := "grid/" + op
 	if pt.topo != "" {
 		id += "/topo=" + pt.topo
+	}
+	if pt.dynamics != "" {
+		// Canonical schedules contain spaces; keep IDs single-token.
+		id += "/dyn=" + strings.ReplaceAll(pt.dynamics, " ", "_")
 	}
 	if pt.placement != "" {
 		id += "/place=" + pt.placement
@@ -220,6 +256,9 @@ func (pt gridPoint) tags(op string) map[string]string {
 	}
 	if pt.topo != "" {
 		t["topo"] = pt.topo
+	}
+	if pt.dynamics != "" {
+		t["dynamics"] = pt.dynamics
 	}
 	if pt.placement != "" {
 		t["placement"] = pt.placement
@@ -258,6 +297,16 @@ func (e *Env) GridCampaign(spec GridSpec) (*campaign.Summary, error) {
 			return nil, err
 		}
 		cfg.Algorithms = algos
+		if pt.dynamics != "" {
+			// Re-parse the canonical form per job: schedules are armed on the
+			// job's own kernel and mutate only its solver state, so concurrent
+			// jobs sharing the cached platform never observe each other.
+			sched, err := dynamics.Parse(pt.dynamics)
+			if err != nil {
+				return nil, fmt.Errorf("grid: dynamics %q: %w", pt.dynamics, err)
+			}
+			cfg.Dynamics = sched
+		}
 		// Each job gets its own Stats sink: jobs run concurrently, and the
 		// wrapped Run flattens the counters into the outcome after the
 		// simulation finishes (the sink is quiescent by then).

@@ -198,6 +198,24 @@ func (s *System) MarkDirty(c *Constraint) {
 	}
 }
 
+// SetCapacity changes c's capacity in place, with the same validation as
+// NewConstraint (zero is allowed; negative or NaN panics). An unchanged
+// capacity is a no-op; otherwise c is marked dirty so the next Solve
+// re-solves exactly the component(s) touching it. This is the primitive
+// time-varying platforms build on: surf's SetLinkBandwidth/SetHostSpeed
+// drain their actions, call SetCapacity, and let the incremental solver
+// restamp completion dates.
+func (s *System) SetCapacity(c *Constraint, capacity float64) {
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("lmm: invalid capacity %v for constraint %q", capacity, c.Name))
+	}
+	if capacity == c.Capacity {
+		return
+	}
+	c.Capacity = capacity
+	s.MarkDirty(c)
+}
+
 // MarkVariableDirty records that v's weight or bound changed, so the next
 // Solve re-solves its component. NewVariable calls it automatically.
 func (s *System) MarkVariableDirty(v *Variable) {

@@ -12,10 +12,13 @@ package obs_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
+	"path"
 	"testing"
 
 	"smpigo/internal/core"
+	"smpigo/internal/dynamics"
 	"smpigo/internal/lmm"
 	"smpigo/internal/obs"
 	"smpigo/internal/platform"
@@ -142,6 +145,171 @@ func TestLinkByteConservation(t *testing.T) {
 			}
 			if active != wantActive {
 				t.Errorf("timeline has %d link series, %d links carried traffic", active, wantActive)
+			}
+		})
+	}
+}
+
+// TestConservationUnderDynamics re-runs the byte-conservation argument with
+// the platform shifting under the traffic: every trunk link is degraded to a
+// quarter of nominal mid-flight and boosted to double later, through the same
+// dynamics schedule smpirun -dynamics arms. Conservation must be unaffected —
+// capacity changes reshape *when* bytes move, never *how many* — and each
+// retuned link's byte total must respect the integral of its time-varying
+// capacity.
+func TestConservationUnderDynamics(t *testing.T) {
+	const (
+		t1      = core.Time(2e-3)  // degrade trunks to 0.25x
+		t2      = core.Time(10e-3) // boost trunks to 2x
+		degrade = 0.25
+		boost   = 2.0
+	)
+	cases := []struct{ topo, trunk string }{
+		{"fattree16", "fattree16-l2-*"},
+		{"fattree64", "fattree64-l3-*"},
+		{"torus16", "torus16-*-d1-*"},
+		{"torus64", "torus64-*-d2-*"},
+		{"dragonfly72", "dragonfly72-g*-g*"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.topo, func(t *testing.T) {
+			spec, err := topology.ParseSpec(tc.topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plat, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts := plat.Hosts()
+			n := len(hosts)
+			stride := n/2 + 1
+			if stride%n == 0 {
+				stride = 1
+			}
+			dst := func(i int) int { return (i + stride) % n }
+
+			expected := make([]float64, len(plat.Links()))
+			for i := range hosts {
+				for _, l := range plat.Route(hosts[i], hosts[dst(i)]).Links {
+					expected[l.ID] += payload
+				}
+			}
+			trunk := make(map[int]bool)
+			for _, l := range plat.Links() {
+				if ok, _ := path.Match(tc.trunk, l.Name()); ok {
+					trunk[l.ID] = true
+				}
+			}
+			if len(trunk) == 0 {
+				t.Fatalf("glob %q matches no link", tc.trunk)
+			}
+
+			k := simix.New()
+			net := surf.NewNetwork(k, surf.Ideal())
+			k.AddModel(net)
+			o := obs.NewObserver(plat)
+			tl := obs.NewTimeline(plat, core.Duration(100e-6))
+			net.Instrument(nil, nil, nil, obs.Multi(o, tl))
+			sched, err := dynamics.Parse(fmt.Sprintf(
+				"@2ms link %s scale %g; @10ms link %s scale %g",
+				tc.trunk, degrade, tc.trunk, boost))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sched.Arm(k, plat, net, nil); err != nil {
+				t.Fatal(err)
+			}
+			k.Spawn("flows", func(p *simix.Proc) {
+				futs := make([]*simix.Future, n)
+				for i := range hosts {
+					futs[i] = simix.NewFuture()
+					net.StartFlow(plat.Route(hosts[i], hosts[dst(i)]), payload, futs[i])
+				}
+				for _, f := range futs {
+					p.Wait(f)
+				}
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Conservation first: recorded bytes still equal the routes'
+			// injection exactly, rate changes or not.
+			for _, l := range plat.Links() {
+				if got := o.LinkBytes(l); !relClose(got, expected[l.ID]) {
+					t.Errorf("link %s: recorded %.6f B, routes inject %.0f B", l.Name(), got, expected[l.ID])
+				}
+			}
+
+			// Both events must land mid-flight, or the test is vacuous.
+			_, end, ok := o.Span()
+			if !ok || end <= t2 {
+				t.Fatalf("span ends at %v, want traffic outliving the %v boost event", end, t2)
+			}
+
+			// Each retuned Shared link's bytes are bounded by the integral of
+			// its piecewise-constant capacity over the observed span. The
+			// static-utilization check from TestLinkByteConservation does not
+			// apply here: after the boost a trunk can legitimately beat its
+			// nominal rate.
+			capIntegral := func(nominal float64) float64 {
+				seg := func(a, b core.Time, f float64) float64 {
+					if b > end {
+						b = end
+					}
+					if b <= a {
+						return 0
+					}
+					return nominal * f * float64(b-a)
+				}
+				return seg(0, t1, 1) + seg(t1, t2, degrade) + seg(t2, end, boost)
+			}
+			for _, l := range plat.Links() {
+				if !trunk[l.ID] || l.Policy != lmm.Shared {
+					continue
+				}
+				if bound := capIntegral(l.Bandwidth); o.LinkBytes(l) > bound*(1+1e-9) {
+					t.Errorf("link %s: %.0f B exceeds capacity integral %.0f B", l.Name(), o.LinkBytes(l), bound)
+				}
+			}
+			// Untouched Shared links still obey the static bound.
+			for _, u := range o.TopLinks(len(plat.Links())) {
+				if !trunk[u.Link.ID] && u.Link.Policy == lmm.Shared && u.Utilization > 1+1e-9 {
+					t.Errorf("link %s: utilization %.6f exceeds capacity", u.Link.Name(), u.Utilization)
+				}
+			}
+
+			// Timeline bucketing remains lossless across rate changes.
+			var buf bytes.Buffer
+			if err := tl.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			var doc struct {
+				Links []struct {
+					Name    string    `json:"name"`
+					Buckets []float64 `json:"buckets"`
+				} `json:"links"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+				t.Fatal(err)
+			}
+			byName := make(map[string]*platform.Link, len(plat.Links()))
+			for _, l := range plat.Links() {
+				byName[l.Name()] = l
+			}
+			for _, s := range doc.Links {
+				sum := 0.0
+				for _, b := range s.Buckets {
+					sum += b
+				}
+				l := byName[s.Name]
+				if l == nil {
+					t.Fatalf("timeline names unknown link %q", s.Name)
+				}
+				if !relClose(sum, o.LinkBytes(l)) {
+					t.Errorf("link %s: timeline buckets sum to %.6f B, observer total %.0f B", s.Name, sum, o.LinkBytes(l))
+				}
 			}
 		})
 	}

@@ -2,12 +2,30 @@ package platform
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
 	"smpigo/internal/core"
 	"smpigo/internal/lmm"
 )
+
+// checkSpeed and checkBandwidth validate resource capacities at build time,
+// mirroring lmm.NewConstraint (zero is legal — a failed resource — negative
+// and NaN panic). Catching bad values here names the offending resource;
+// letting them through used to fail much later, deep inside the solver or at
+// flow start, with no hint of which host or link was misbuilt.
+func checkSpeed(speed float64, what string, id any) {
+	if speed < 0 || math.IsNaN(speed) {
+		panic(fmt.Sprintf("platform: invalid speed %v for %s %v", speed, what, id))
+	}
+}
+
+func checkBandwidth(bw float64, what string, id any) {
+	if bw < 0 || math.IsNaN(bw) {
+		panic(fmt.Sprintf("platform: invalid bandwidth %v for %s %v", bw, what, id))
+	}
+}
 
 // Host is a compute node of the target platform.
 type Host struct {
@@ -235,6 +253,7 @@ func (p *Platform) Reserve(hosts, links int) {
 // path every builder uses; hand-built platforms wanting arbitrary names use
 // AddHost instead.
 func (p *Platform) NewHost(speed float64) *Host {
+	checkSpeed(speed, "host", len(p.hosts))
 	if n := len(p.hostSlabs); n == 0 || len(p.hostSlabs[n-1]) == cap(p.hostSlabs[n-1]) {
 		p.hostSlabs = append(p.hostSlabs, make([]Host, 0, slabSize))
 	}
@@ -257,6 +276,7 @@ func (p *Platform) NewHost(speed float64) *Host {
 // NewHost-created hosts, so mixing the two modes is allowed — but a
 // platform that never calls AddHost stores no names at all.
 func (p *Platform) AddHost(name string, speed float64) *Host {
+	checkSpeed(speed, "host", name)
 	p.materializeHostNames()
 	if _, dup := p.byName[name]; dup {
 		panic(fmt.Sprintf("platform: duplicate host %q", name))
@@ -277,6 +297,7 @@ func (p *Platform) AddHost(name string, speed float64) *Host {
 // namer registered with SetLinkNamer (or "<platform>-link-<ID>" without
 // one), storing nothing per name.
 func (p *Platform) NewLink(bandwidth float64, latency core.Duration, policy lmm.SharingPolicy) *Link {
+	checkBandwidth(bandwidth, "link", len(p.links))
 	if n := len(p.linkSlabs); n == 0 || len(p.linkSlabs[n-1]) == cap(p.linkSlabs[n-1]) {
 		p.linkSlabs = append(p.linkSlabs, make([]Link, 0, slabSize))
 	}
@@ -298,6 +319,7 @@ func (p *Platform) NewLink(bandwidth float64, latency core.Duration, policy lmm.
 // materializes the derived names of any NewLink-created links (mirroring
 // AddHost).
 func (p *Platform) AddLink(name string, bandwidth float64, latency core.Duration, policy lmm.SharingPolicy) *Link {
+	checkBandwidth(bandwidth, "link", name)
 	p.materializeLinkNames()
 	if n := len(p.linkSlabs); n == 0 || len(p.linkSlabs[n-1]) == cap(p.linkSlabs[n-1]) {
 		p.linkSlabs = append(p.linkSlabs, make([]Link, 0, slabSize))

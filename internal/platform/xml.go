@@ -177,7 +177,7 @@ func (s ClusterSpec) XMLElement() (string, []xml.Attr) {
 	if s.BackboneFatPipe {
 		sharing = "FATPIPE"
 	}
-	return "cluster", []xml.Attr{
+	attrs := []xml.Attr{
 		Attr("id", "%s", s.Name),
 		Attr("speed", "%gf", s.NodeSpeed),
 		Attr("cabinets", "%s", strings.Join(cabinets, ",")),
@@ -191,6 +191,16 @@ func (s ClusterSpec) XMLElement() (string, []xml.Attr) {
 		Attr("bb_lat", "%gs", float64(s.BackboneLatency)),
 		Attr("bb_sharing", "%s", sharing),
 	}
+	// Profile attributes appear only on heterogeneous specs, so platform
+	// files for homogeneous machines are byte-identical to the pre-profile
+	// dialect.
+	if len(s.CabinetSpeed) > 0 {
+		attrs = append(attrs, Attr("cab_speed", "%s", JoinFloats(s.CabinetSpeed, ",")))
+	}
+	if len(s.CabinetUplinkWidth) > 0 {
+		attrs = append(attrs, Attr("cab_width", "%s", JoinFloats(s.CabinetUplinkWidth, ",")))
+	}
+	return "cluster", attrs
 }
 
 func decodeClusterXML(attrs map[string]string) (Spec, error) {
@@ -242,6 +252,16 @@ func decodeClusterXML(attrs map[string]string) (Spec, error) {
 		spec.BackboneFatPipe = true
 	default:
 		return fail("bb_sharing", fmt.Errorf("unknown policy %q", attrs["bb_sharing"]))
+	}
+	if v := attrs["cab_speed"]; v != "" {
+		if spec.CabinetSpeed, err = ParseFloatList(v, ","); err != nil {
+			return fail("cab_speed", err)
+		}
+	}
+	if v := attrs["cab_width"]; v != "" {
+		if spec.CabinetUplinkWidth, err = ParseFloatList(v, ","); err != nil {
+			return fail("cab_width", err)
+		}
 	}
 	return spec, nil
 }

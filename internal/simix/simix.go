@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"smpigo/internal/core"
+	"smpigo/internal/surf/actionheap"
 )
 
 // Model is a pluggable resource model (network, CPU, ...). The kernel calls
@@ -97,7 +98,11 @@ type Stats struct {
 type Kernel struct {
 	now    core.Time
 	models []Model
-	timers core.EventQueue
+	// timers is the built-in timer queue, on the same heap implementation as
+	// the resource models' event paths (date order, FIFO on ties by push
+	// sequence). Entries are never invalidated — Generation is constant —
+	// so every pushed timer fires.
+	timers actionheap.Heap[*timerEntry]
 
 	// Stats, when non-nil, accumulates kernel counters.
 	Stats *Stats
@@ -203,13 +208,18 @@ func (k *Kernel) FulfillAt(f *Future, value any, t core.Time) {
 	if t < k.now {
 		t = k.now
 	}
-	k.timers.Push(t, timerEntry{f: f, value: value})
+	k.timers.Push(&timerEntry{f: f, value: value}, t, 0)
 }
 
 type timerEntry struct {
 	f     *Future
 	value any
 }
+
+// Generation implements actionheap.Stamped: timer entries are never
+// restamped or cancelled (Fulfill on a done future is a no-op), so every
+// entry stays valid until popped.
+func (*timerEntry) Generation() uint64 { return 0 }
 
 // Run executes the simulation until every actor has terminated. It returns
 // an error if an actor panicked, if the deadline was exceeded, or if live
@@ -252,10 +262,7 @@ func (k *Kernel) Run() (err error) {
 		}
 
 		// All actors are blocked: advance time to the next event.
-		next := core.TimeForever
-		if e := k.timers.Peek(); e != nil && e.At < next {
-			next = e.At
-		}
+		next := k.timers.NextDue()
 		for _, m := range k.models {
 			if t := m.NextEvent(); t < next {
 				next = t
@@ -276,12 +283,11 @@ func (k *Kernel) Run() (err error) {
 		}
 
 		for {
-			e := k.timers.Peek()
-			if e == nil || e.At > k.now {
+			te, due, ok := k.timers.Peek()
+			if !ok || due > k.now {
 				break
 			}
 			k.timers.Pop()
-			te := e.Payload.(timerEntry)
 			if k.Stats != nil {
 				k.Stats.TimerFires++
 			}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"smpigo/internal/core"
+	"smpigo/internal/dynamics"
 	"smpigo/internal/emu"
 	"smpigo/internal/obs"
 	"smpigo/internal/platform"
@@ -69,6 +70,12 @@ type Config struct {
 	// surf models (per-link utilization accounting; see obs.Observer and
 	// obs.Timeline). Ignored on BackendEmu, which has no drain stream.
 	Usage surf.UsageRecorder
+	// Dynamics, when non-nil, is a deterministic schedule of platform events
+	// (link degradation/restoration, host slowdown, background-traffic
+	// injection) armed on the kernel before the ranks start. Link and flow
+	// events require BackendSurf with contention enabled; events dated after
+	// the last rank exits never fire.
+	Dynamics *dynamics.Schedule
 }
 
 func (cfg *Config) fillDefaults() error {
@@ -190,6 +197,11 @@ func Run(cfg Config, app func(*Rank)) (*Report, error) {
 		w.cpu.Instrument(nil, nil, nil, cfg.Usage)
 		if w.snet != nil {
 			w.snet.Instrument(nil, nil, nil, cfg.Usage)
+		}
+	}
+	if cfg.Dynamics != nil {
+		if err := cfg.Dynamics.Arm(w.kernel, cfg.Platform, w.snet, w.cpu); err != nil {
+			return nil, fmt.Errorf("smpi: dynamics: %w", err)
 		}
 	}
 	w.reg = sampling.NewRegistry(cfg.Procs)

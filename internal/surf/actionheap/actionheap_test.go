@@ -3,6 +3,7 @@ package actionheap
 import (
 	"math/rand"
 	"testing"
+	"testing/quick"
 
 	"smpigo/internal/core"
 )
@@ -139,6 +140,90 @@ func TestPopTieBreak(t *testing.T) {
 			t.Fatalf("pop %d: got action %+v, want id %d (push order)", i, a, i)
 		}
 		a.gen++
+	}
+}
+
+// The tests below moved here from core.EventQueue when the simix timer
+// queue was ported onto this heap (the EventQueue was deleted); they pin the
+// ordering contract the kernel's timers rely on.
+
+// TestOrdering: pops come out in date order regardless of push order.
+func TestOrdering(t *testing.T) {
+	var h Heap[*stampedAction]
+	for _, due := range []core.Time{3, 1, 2} {
+		h.Push(&stampedAction{id: int(due)}, due, 0)
+	}
+	for _, want := range []int{1, 2, 3} {
+		a, due, ok := h.Pop()
+		if !ok || a.id != want || due != core.Time(want) {
+			t.Fatalf("pop order wrong: want id %d, got (%+v, %v, %v)", want, a, due, ok)
+		}
+	}
+	if _, _, ok := h.Pop(); ok {
+		t.Error("empty heap should report !ok")
+	}
+}
+
+// TestFIFOTies: same-date entries pop in push order — the timer-queue FIFO
+// guarantee (two futures scheduled for the same date fulfill in the order
+// FulfillAt was called).
+func TestFIFOTies(t *testing.T) {
+	var h Heap[*stampedAction]
+	for i := 0; i < 10; i++ {
+		h.Push(&stampedAction{id: i}, 1, 0)
+	}
+	for i := 0; i < 10; i++ {
+		if a, _, ok := h.Pop(); !ok || a.id != i {
+			t.Fatalf("tie-break not FIFO: got %+v want id %d", a, i)
+		}
+	}
+}
+
+// TestPeekDoesNotConsume: Peek returns the earliest entry and leaves it.
+func TestPeekDoesNotConsume(t *testing.T) {
+	var h Heap[*stampedAction]
+	h.Push(&stampedAction{id: 5}, 5, 0)
+	h.Push(&stampedAction{id: 4}, 4, 0)
+	if a, due, ok := h.Peek(); !ok || a.id != 4 || due != 4 {
+		t.Errorf("Peek = (%+v, %v, %v), want id 4 at date 4", a, due, ok)
+	}
+	if h.Len() != 2 {
+		t.Error("Peek must not consume")
+	}
+}
+
+// Property: popping a randomly-filled heap yields dates in non-decreasing
+// order, with and without interleaved invalidations (the heap's analog of
+// the EventQueue's removals).
+func TestHeapProperty(t *testing.T) {
+	f := func(dates []uint16, invalidateMask []bool) bool {
+		var h Heap[*stampedAction]
+		var actions []*stampedAction
+		for _, d := range dates {
+			a := &stampedAction{due: core.Time(d)}
+			actions = append(actions, a)
+			h.Push(a, a.due, a.gen)
+		}
+		for i, a := range actions {
+			if i < len(invalidateMask) && invalidateMask[i] {
+				a.gen++ // invalidate without re-pushing: entry must vanish
+			}
+		}
+		last := core.Time(-1)
+		for {
+			a, due, ok := h.Pop()
+			if !ok {
+				break
+			}
+			if due < last || a.gen != 0 {
+				return false
+			}
+			last = due
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -120,6 +120,40 @@ func (c *CPU) Delay(host *platform.Host, d core.Duration) *simix.Future {
 	return c.Execute(host, float64(d)*host.Speed)
 }
 
+// SetHostSpeed changes the compute capacity the sharing system enforces for
+// host from the current date on. Like Network.SetLinkBandwidth, the
+// platform's Host.Speed stays the immutable nominal description; the
+// effective speed lives in this model's LMM constraint, the reshare drains
+// every re-solved task at its outgoing rate before the new one applies (flop
+// integrals stay exact), and untouched hosts keep their rates and stamped
+// dates bit-for-bit.
+//
+// A speed of zero fails the host: any running task is allocated rate 0 and
+// the reshare panics loudly — failure detection, not fault tolerance. Note
+// that Delay converts durations through the nominal Host.Speed, so a burst
+// on a host slowed to a fraction q takes 1/q times its measured duration:
+// the measured work is fixed in flops, the degraded host drains it slower.
+func (c *CPU) SetHostSpeed(host *platform.Host, speed float64) {
+	if speed < 0 || math.IsNaN(speed) {
+		panic(fmt.Sprintf("surf: invalid speed %v for host %q", speed, host.Name()))
+	}
+	c.now = c.kernel.Now()
+	c.sys.SetCapacity(c.constraint(host), speed)
+	// Reshare immediately: a change fired from a timer callback must take
+	// effect at its date even when no task starts or completes there.
+	c.reshare(c.now)
+}
+
+// HostSpeed returns the compute capacity currently enforced for host: the
+// last SetHostSpeed value, or the platform's nominal speed if it was never
+// changed.
+func (c *CPU) HostSpeed(host *platform.Host) float64 {
+	if con, ok := c.cons[host]; ok {
+		return con.Capacity
+	}
+	return host.Speed
+}
+
 // sync drains t's flop count to date to at its current rate.
 func (t *cpuTask) sync(to core.Time) {
 	t.remaining -= t.rate * float64(to-t.lastSync)

@@ -3,6 +3,7 @@ package surf
 import (
 	"cmp"
 	"fmt"
+	"math"
 	"slices"
 	"strings"
 
@@ -160,6 +161,49 @@ func (n *Network) constraint(l *platform.Link) *lmm.Constraint {
 		n.cons[l] = c
 	}
 	return c
+}
+
+// SetLinkBandwidth changes the capacity the sharing system enforces for l
+// from the current date on. The platform's Link.Bandwidth is untouched — it
+// stays the immutable nominal description (shared across concurrent
+// simulations of the same platform), while the effective capacity lives in
+// this network's LMM constraint.
+//
+// Exactness across the change follows the lazy-drain argument of the event
+// path: the reshare drains every re-solved flow at its outgoing rate up to
+// the current date before the new rate applies, so byte integrals and
+// usage-recorder accounting see the old rate exactly until now and the new
+// rate exactly after. Untouched components keep their rates and stamped
+// dates bit-for-bit.
+//
+// Setting a capacity of zero fails the link: any flow crossing it is
+// allocated rate 0 and the simulation panics loudly (see checkStalled) —
+// failure detection, not fault tolerance. Negative or NaN bandwidth panics;
+// contention-blind networks reject the call because their flows never
+// consult the sharing system.
+func (n *Network) SetLinkBandwidth(l *platform.Link, bw float64) {
+	if bw < 0 || math.IsNaN(bw) {
+		panic(fmt.Sprintf("surf: invalid bandwidth %v for link %q", bw, l.Name()))
+	}
+	if !n.Contention {
+		panic(fmt.Sprintf("surf: SetLinkBandwidth(%q): contention-blind flows ignore link capacities; dynamic bandwidth requires contention", l.Name()))
+	}
+	n.now = n.kernel.Now()
+	n.sys.SetCapacity(n.constraint(l), bw)
+	// Reshare immediately: Advance early-returns on steps with no
+	// promotions or completions, so a capacity change fired from a timer
+	// callback would otherwise sit unsolved past its date.
+	n.reshare(n.now)
+}
+
+// LinkBandwidth returns the capacity currently enforced for l: the last
+// SetLinkBandwidth value, or the platform's nominal bandwidth if it was
+// never changed.
+func (n *Network) LinkBandwidth(l *platform.Link) float64 {
+	if c, ok := n.cons[l]; ok {
+		return c.Capacity
+	}
+	return l.Bandwidth
 }
 
 // sync drains f's byte count to date to at its current rate. It is the lazy

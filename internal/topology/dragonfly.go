@@ -35,6 +35,16 @@ type DragonflySpec struct {
 	// GlobalBandwidth/GlobalLatency describe the long inter-group cables.
 	GlobalBandwidth float64
 	GlobalLatency   core.Duration
+	// GroupSpeeds optionally scales host speed per group, cyclically: hosts
+	// in group g run at HostSpeed*GroupSpeeds[g%len(GroupSpeeds)]. Groups
+	// are the deployment unit of dragonfly machines, so hardware generations
+	// mix group by group.
+	GroupSpeeds []float64
+	// GroupWidths optionally scales link bandwidth per group, cyclically:
+	// host and local links inside group g scale by width(g), and the global
+	// cable between gi and gj by min(width(gi), width(gj)) — a cable is
+	// only as fast as its slower endpoint.
+	GroupWidths []float64
 }
 
 // Hosts returns the number of hosts.
@@ -56,7 +66,19 @@ func (s DragonflySpec) Validate() error {
 	case s.HostLinkBandwidth <= 0 || s.LocalBandwidth <= 0 || s.GlobalBandwidth <= 0:
 		return fmt.Errorf("dragonfly spec %q: non-positive bandwidth", s.Name)
 	}
+	if err := platform.CheckProfile(s.GroupSpeeds, -1); err != nil {
+		return fmt.Errorf("dragonfly spec %q: group speeds: %w", s.Name, err)
+	}
+	if err := platform.CheckProfile(s.GroupWidths, -1); err != nil {
+		return fmt.Errorf("dragonfly spec %q: group widths: %w", s.Name, err)
+	}
 	return nil
+}
+
+// groupWidth reads the cyclic link-width multiplier of group g (1 when the
+// profile is empty).
+func (s DragonflySpec) groupWidth(g int) float64 {
+	return platform.ProfileAt(s.GroupWidths, g)
 }
 
 // gateway returns the router index in group g holding the global cable to
@@ -119,31 +141,36 @@ func (s DragonflySpec) Build() (*platform.Platform, error) {
 		}
 	})
 	for i := 0; i < n; i++ {
-		host := p.NewHost(s.HostSpeed)
+		group := i / (a * ph)
+		host := p.NewHost(s.HostSpeed * platform.ProfileAt(s.GroupSpeeds, group))
 		// The router is the lowest-level group: its hosts reach each other
 		// in two links; placement mappers lay ranks out by it.
 		host.Cabinet = i / ph
-		p.NewLink(s.HostLinkBandwidth, s.HostLinkLatency, lmm.Shared) // up
-		p.NewLink(s.HostLinkBandwidth, s.HostLinkLatency, lmm.Shared) // down
+		hostBW := s.HostLinkBandwidth * s.groupWidth(group)
+		p.NewLink(hostBW, s.HostLinkLatency, lmm.Shared) // up
+		p.NewLink(hostBW, s.HostLinkLatency, lmm.Shared) // down
 	}
 	// Directed local links r1 -> r2 inside each group, in (group, r1, r2)
 	// order; a*(a-1) links per group.
 	for gi := 0; gi < g; gi++ {
+		localBW := s.LocalBandwidth * s.groupWidth(gi)
 		for r1 := 0; r1 < a; r1++ {
 			for r2 := 0; r2 < a; r2++ {
 				if r1 == r2 {
 					continue
 				}
-				p.NewLink(s.LocalBandwidth, s.LocalLatency, lmm.Shared)
+				p.NewLink(localBW, s.LocalLatency, lmm.Shared)
 			}
 		}
 	}
 	// Directed global links per unordered group pair (gi < gj), forward
-	// then backward, pairs in (gi, gj) lexicographic order.
+	// then backward, pairs in (gi, gj) lexicographic order. A cable runs at
+	// the width of its slower endpoint group.
 	for gi := 0; gi < g; gi++ {
 		for gj := gi + 1; gj < g; gj++ {
-			p.NewLink(s.GlobalBandwidth, s.GlobalLatency, lmm.Shared)
-			p.NewLink(s.GlobalBandwidth, s.GlobalLatency, lmm.Shared)
+			globalBW := s.GlobalBandwidth * min(s.groupWidth(gi), s.groupWidth(gj))
+			p.NewLink(globalBW, s.GlobalLatency, lmm.Shared)
+			p.NewLink(globalBW, s.GlobalLatency, lmm.Shared)
 		}
 	}
 
@@ -240,7 +267,7 @@ func (r *dragonflyRouter) RouteInto(buf []*platform.Link, ha, hb *platform.Host)
 }
 
 // Metrics implements Spec. The bisection cut splits the groups into halves;
-// only global cables cross it.
+// only global cables cross it, each at the width of its slower endpoint.
 func (s DragonflySpec) Metrics() Metrics {
 	g, a := s.Groups, s.RoutersPerGroup
 	n := s.Hosts()
@@ -253,13 +280,19 @@ func (s DragonflySpec) Metrics() Metrics {
 		m.Diameter = 5 // up, local, global, local, down
 	}
 	half := g / 2
-	m.BisectionBandwidth = float64(half*(g-half)) * s.GlobalBandwidth
+	for gi := 0; gi < half; gi++ {
+		for gj := half; gj < g; gj++ {
+			m.BisectionBandwidth += s.GlobalBandwidth * min(s.groupWidth(gi), s.groupWidth(gj))
+		}
+	}
 	return m
 }
 
-// XMLElement implements platform.Spec.
+// XMLElement implements platform.Spec. Profile attributes appear only on
+// heterogeneous specs, keeping homogeneous platform files byte-identical to
+// the pre-profile dialect.
 func (s DragonflySpec) XMLElement() (string, []xml.Attr) {
-	return "dragonfly", []xml.Attr{
+	attrs := []xml.Attr{
 		platform.Attr("id", "%s", s.Name),
 		platform.Attr("speed", "%gf", s.HostSpeed),
 		platform.Attr("groups", "%d", s.Groups),
@@ -272,6 +305,13 @@ func (s DragonflySpec) XMLElement() (string, []xml.Attr) {
 		platform.Attr("global_bw", "%gBps", s.GlobalBandwidth),
 		platform.Attr("global_lat", "%gs", float64(s.GlobalLatency)),
 	}
+	if len(s.GroupSpeeds) > 0 {
+		attrs = append(attrs, platform.Attr("group_speeds", "%s", platform.JoinFloats(s.GroupSpeeds, ",")))
+	}
+	if len(s.GroupWidths) > 0 {
+		attrs = append(attrs, platform.Attr("group_widths", "%s", platform.JoinFloats(s.GroupWidths, ",")))
+	}
+	return "dragonfly", attrs
 }
 
 func decodeDragonflyXML(attrs map[string]string) (platform.Spec, error) {
@@ -310,6 +350,16 @@ func decodeDragonflyXML(attrs map[string]string) (platform.Spec, error) {
 	}
 	if spec.GlobalLatency, err = core.ParseDuration(attrs["global_lat"]); err != nil {
 		return fail("global_lat", err)
+	}
+	if v := attrs["group_speeds"]; v != "" {
+		if spec.GroupSpeeds, err = platform.ParseFloatList(v, ","); err != nil {
+			return fail("group_speeds", err)
+		}
+	}
+	if v := attrs["group_widths"]; v != "" {
+		if spec.GroupWidths, err = platform.ParseFloatList(v, ","); err != nil {
+			return fail("group_widths", err)
+		}
 	}
 	return spec, nil
 }

@@ -30,6 +30,15 @@ type FatTreeSpec struct {
 	// child-parent cable is a full-duplex pair of directed links.
 	LinkBandwidth float64
 	LinkLatency   core.Duration
+	// LevelWidths optionally scales link bandwidth per switch level: the
+	// level-l cables carry LinkBandwidth*LevelWidths[l-1]. Empty means
+	// homogeneous; otherwise the length must equal len(Down). Thin spines
+	// (e.g. {1, 1, 0.5}) model oversubscription by cable width rather than
+	// cable count.
+	LevelWidths []float64
+	// LeafSpeeds optionally scales host speed per leaf switch, cyclically:
+	// hosts under leaf c run at HostSpeed*LeafSpeeds[c%len(LeafSpeeds)].
+	LeafSpeeds []float64
 }
 
 // Hosts returns the number of hosts (the product of Down).
@@ -56,6 +65,12 @@ func (s FatTreeSpec) Validate() error {
 		if s.Up[l] < 1 {
 			return fmt.Errorf("fattree spec %q: level %d has %d up ports, want >= 1", s.Name, l, s.Up[l])
 		}
+	}
+	if err := platform.CheckProfile(s.LevelWidths, len(s.Down)); err != nil {
+		return fmt.Errorf("fattree spec %q: level widths: %w", s.Name, err)
+	}
+	if err := platform.CheckProfile(s.LeafSpeeds, -1); err != nil {
+		return fmt.Errorf("fattree spec %q: leaf speeds: %w", s.Name, err)
 	}
 	return nil
 }
@@ -119,17 +134,22 @@ func (s FatTreeSpec) Build() (*platform.Platform, error) {
 	})
 
 	for i := 0; i < n; i++ {
-		host := p.NewHost(s.HostSpeed)
+		leaf := i / s.Down[0]
+		host := p.NewHost(s.HostSpeed * platform.ProfileAt(s.LeafSpeeds, leaf))
 		// The leaf switch is the lowest-level group: placement mappers use
 		// it to pack ranks under (or spread them across) leaf switches.
-		host.Cabinet = i / s.Down[0]
+		host.Cabinet = leaf
 	}
 	for l := 1; l <= h; l++ {
+		bw := s.LinkBandwidth
+		if len(s.LevelWidths) > 0 {
+			bw *= s.LevelWidths[l-1]
+		}
 		children := (n / prodDown[l-1]) * prodUp[l-1]
 		for c := 0; c < children; c++ {
 			for j := 0; j < s.Up[l-1]; j++ {
-				p.NewLink(s.LinkBandwidth, s.LinkLatency, lmm.Shared) // up
-				p.NewLink(s.LinkBandwidth, s.LinkLatency, lmm.Shared) // down
+				p.NewLink(bw, s.LinkLatency, lmm.Shared) // up
+				p.NewLink(bw, s.LinkLatency, lmm.Shared) // down
 			}
 		}
 	}
@@ -205,28 +225,35 @@ func (r *fatTreeRouter) RouteInto(buf []*platform.Link, a, b *platform.Host) pla
 }
 
 // Metrics implements Spec. The bisection cut splits the tree at the top
-// level; its capacity is half the thinnest level's aggregate up-bandwidth,
-// so an unoversubscribed tree reports (hosts/2)*Up[0]*LinkBandwidth.
+// level; its capacity is half the thinnest level's aggregate up-bandwidth
+// (cable count times per-cable width), so an unoversubscribed homogeneous
+// tree reports (hosts/2)*Up[0]*LinkBandwidth.
 func (s FatTreeSpec) Metrics() Metrics {
 	h := len(s.Down)
 	prodDown, prodUp := s.products()
 	n := prodDown[h]
 	m := Metrics{Hosts: n, Diameter: 2 * h}
-	minLevel := 0
+	minAgg := 0.0
 	for l := 1; l <= h; l++ {
 		cables := (n / prodDown[l-1]) * prodUp[l-1] * s.Up[l-1]
 		m.Links += 2 * cables
-		if minLevel == 0 || cables < minLevel {
-			minLevel = cables
+		agg := float64(cables) * s.LinkBandwidth
+		if len(s.LevelWidths) > 0 {
+			agg *= s.LevelWidths[l-1]
+		}
+		if l == 1 || agg < minAgg {
+			minAgg = agg
 		}
 	}
-	m.BisectionBandwidth = float64(minLevel) / 2 * s.LinkBandwidth
+	m.BisectionBandwidth = minAgg / 2
 	return m
 }
 
-// XMLElement implements platform.Spec.
+// XMLElement implements platform.Spec. Profile attributes appear only on
+// heterogeneous specs, keeping homogeneous platform files byte-identical to
+// the pre-profile dialect.
 func (s FatTreeSpec) XMLElement() (string, []xml.Attr) {
-	return "fattree", []xml.Attr{
+	attrs := []xml.Attr{
 		platform.Attr("id", "%s", s.Name),
 		platform.Attr("speed", "%gf", s.HostSpeed),
 		platform.Attr("down", "%s", joinInts(s.Down, ",")),
@@ -234,6 +261,13 @@ func (s FatTreeSpec) XMLElement() (string, []xml.Attr) {
 		platform.Attr("bw", "%gBps", s.LinkBandwidth),
 		platform.Attr("lat", "%gs", float64(s.LinkLatency)),
 	}
+	if len(s.LevelWidths) > 0 {
+		attrs = append(attrs, platform.Attr("level_widths", "%s", platform.JoinFloats(s.LevelWidths, ",")))
+	}
+	if len(s.LeafSpeeds) > 0 {
+		attrs = append(attrs, platform.Attr("leaf_speeds", "%s", platform.JoinFloats(s.LeafSpeeds, ",")))
+	}
+	return "fattree", attrs
 }
 
 func decodeFatTreeXML(attrs map[string]string) (platform.Spec, error) {
@@ -257,6 +291,16 @@ func decodeFatTreeXML(attrs map[string]string) (platform.Spec, error) {
 	}
 	if spec.LinkLatency, err = core.ParseDuration(attrs["lat"]); err != nil {
 		return fail("lat", err)
+	}
+	if v := attrs["level_widths"]; v != "" {
+		if spec.LevelWidths, err = platform.ParseFloatList(v, ","); err != nil {
+			return fail("level_widths", err)
+		}
+	}
+	if v := attrs["leaf_speeds"]; v != "" {
+		if spec.LeafSpeeds, err = platform.ParseFloatList(v, ","); err != nil {
+			return fail("leaf_speeds", err)
+		}
 	}
 	return spec, nil
 }

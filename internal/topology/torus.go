@@ -24,6 +24,15 @@ type TorusSpec struct {
 	// LinkBandwidth/LinkLatency apply to every neighbor link.
 	LinkBandwidth float64
 	LinkLatency   core.Duration
+	// DimWidths optionally scales link bandwidth per dimension: the
+	// dimension-d rings run at LinkBandwidth*DimWidths[d]. Empty means
+	// homogeneous; otherwise the length must equal len(Dims). Wider
+	// low-order rings match machines whose in-board wiring outruns the
+	// inter-cabinet cables.
+	DimWidths []float64
+	// RowSpeeds optionally scales host speed per dimension-0 row,
+	// cyclically: hosts in row r run at HostSpeed*RowSpeeds[r%len(RowSpeeds)].
+	RowSpeeds []float64
 }
 
 // Hosts returns the number of hosts (the product of Dims).
@@ -45,6 +54,12 @@ func (s TorusSpec) Validate() error {
 		if k < 2 {
 			return fmt.Errorf("torus spec %q: dimension %d has extent %d, want >= 2", s.Name, d, k)
 		}
+	}
+	if err := platform.CheckProfile(s.DimWidths, len(s.Dims)); err != nil {
+		return fmt.Errorf("torus spec %q: dim widths: %w", s.Name, err)
+	}
+	if err := platform.CheckProfile(s.RowSpeeds, -1); err != nil {
+		return fmt.Errorf("torus spec %q: row speeds: %w", s.Name, err)
 	}
 	return nil
 }
@@ -71,13 +86,18 @@ func (s TorusSpec) Build() (*platform.Platform, error) {
 		return fmt.Sprintf("%s-%d-d%d%s", s.Name, id/(2*ndims), rem/2, dir)
 	})
 	for i := 0; i < n; i++ {
-		host := p.NewHost(s.HostSpeed)
+		row := i / s.Dims[0]
+		host := p.NewHost(s.HostSpeed * platform.ProfileAt(s.RowSpeeds, row))
 		// The dimension-0 ring is the lowest-level group (neighbors there
 		// are one cable apart); placement mappers lay ranks out by it.
-		host.Cabinet = i / s.Dims[0]
+		host.Cabinet = row
 		for d := 0; d < ndims; d++ {
-			p.NewLink(s.LinkBandwidth, s.LinkLatency, lmm.Shared) // plus
-			p.NewLink(s.LinkBandwidth, s.LinkLatency, lmm.Shared) // minus
+			bw := s.LinkBandwidth
+			if len(s.DimWidths) > 0 {
+				bw *= s.DimWidths[d]
+			}
+			p.NewLink(bw, s.LinkLatency, lmm.Shared) // plus
+			p.NewLink(bw, s.LinkLatency, lmm.Shared) // minus
 		}
 	}
 
@@ -139,32 +159,44 @@ func (r *torusRouter) RouteInto(buf []*platform.Link, a, b *platform.Host) platf
 	return route
 }
 
-// Metrics implements Spec. The bisection cut halves the largest dimension;
+// Metrics implements Spec. The bisection cut halves the dimension with the
+// least crossing bandwidth — the largest extent when widths are uniform;
 // wrap-around doubles the crossing cables, giving the classic 2*N/k value
-// for a k-ary n-cube.
+// for a homogeneous k-ary n-cube.
 func (s TorusSpec) Metrics() Metrics {
 	n := s.Hosts()
 	m := Metrics{Hosts: n, Links: 2 * n * len(s.Dims)}
-	kmax := 0
-	for _, k := range s.Dims {
+	for d, k := range s.Dims {
 		m.Diameter += k / 2
-		if k > kmax {
-			kmax = k
+		cut := float64(2*n/k) * s.LinkBandwidth
+		if len(s.DimWidths) > 0 {
+			cut *= s.DimWidths[d]
+		}
+		if d == 0 || cut < m.BisectionBandwidth {
+			m.BisectionBandwidth = cut
 		}
 	}
-	m.BisectionBandwidth = float64(2*n/kmax) * s.LinkBandwidth
 	return m
 }
 
-// XMLElement implements platform.Spec.
+// XMLElement implements platform.Spec. Profile attributes appear only on
+// heterogeneous specs, keeping homogeneous platform files byte-identical to
+// the pre-profile dialect.
 func (s TorusSpec) XMLElement() (string, []xml.Attr) {
-	return "torus", []xml.Attr{
+	attrs := []xml.Attr{
 		platform.Attr("id", "%s", s.Name),
 		platform.Attr("speed", "%gf", s.HostSpeed),
 		platform.Attr("dims", "%s", joinInts(s.Dims, "x")),
 		platform.Attr("bw", "%gBps", s.LinkBandwidth),
 		platform.Attr("lat", "%gs", float64(s.LinkLatency)),
 	}
+	if len(s.DimWidths) > 0 {
+		attrs = append(attrs, platform.Attr("dim_widths", "%s", platform.JoinFloats(s.DimWidths, ",")))
+	}
+	if len(s.RowSpeeds) > 0 {
+		attrs = append(attrs, platform.Attr("row_speeds", "%s", platform.JoinFloats(s.RowSpeeds, ",")))
+	}
+	return "torus", attrs
 }
 
 func decodeTorusXML(attrs map[string]string) (platform.Spec, error) {
@@ -185,6 +217,16 @@ func decodeTorusXML(attrs map[string]string) (platform.Spec, error) {
 	}
 	if spec.LinkLatency, err = core.ParseDuration(attrs["lat"]); err != nil {
 		return fail("lat", err)
+	}
+	if v := attrs["dim_widths"]; v != "" {
+		if spec.DimWidths, err = platform.ParseFloatList(v, ","); err != nil {
+			return fail("dim_widths", err)
+		}
+	}
+	if v := attrs["row_speeds"]; v != "" {
+		if spec.RowSpeeds, err = platform.ParseFloatList(v, ","); err != nil {
+			return fail("row_speeds", err)
+		}
 	}
 	return spec, nil
 }
