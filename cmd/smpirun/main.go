@@ -61,9 +61,11 @@ func main() {
 		timeline  = flag.String("timeline", "", "write a per-link/per-host utilization timeline (JSON) to this file")
 		tlBucket  = flag.String("timeline-bucket", "1ms", "timeline bucket width (simulated time)")
 		dynArg    = flag.String("dynamics", "", "platform event schedule: inline grammar (\"@2ms link a-* scale 0.5; ...\"), inline JSON, or a file; \"none\" disables")
+		solverW   = flag.Int("solver-workers", 0, "LMM solver worker pool (0 or 1 = serial, -1 = GOMAXPROCS); results are bit-identical at any setting")
+		rateTol   = flag.Float64("rate-tolerance", 0, "bounded-staleness solver tolerance eps in [0,1); 0 = exact (flows whose rate would move by less than eps keep their stale rate)")
 	)
 	flag.Parse()
-	if err := run(*appName, *np, *platName, *backend, *modelName, *noCont, *chunk, *graph, *class, *ratio, *fold, *placeArg, *collArg, *seed, *traceOut, *replayIn, *statsOn, *timeline, *tlBucket, *dynArg); err != nil {
+	if err := run(*appName, *np, *platName, *backend, *modelName, *noCont, *chunk, *graph, *class, *ratio, *fold, *placeArg, *collArg, *seed, *traceOut, *replayIn, *statsOn, *timeline, *tlBucket, *dynArg, *solverW, *rateTol); err != nil {
 		fmt.Fprintln(os.Stderr, "smpirun:", err)
 		os.Exit(1)
 	}
@@ -119,12 +121,13 @@ func pickModel(name string) (surf.NetModel, error) {
 func run(appName string, np int, platName, backend, modelName string, noCont bool,
 	chunkStr, graph, class string, ratio float64, fold bool,
 	placeArg, collArg string, seed uint64, traceOut, replayIn string,
-	statsOn bool, timelineOut, tlBucket, dynArg string) error {
+	statsOn bool, timelineOut, tlBucket, dynArg string, solverWorkers int, rateTol float64) error {
 	plat, err := loadPlatform(platName)
 	if err != nil {
 		return err
 	}
-	cfg := smpi.Config{Procs: np, Platform: plat, NoContention: noCont, Seed: seed}
+	cfg := smpi.Config{Procs: np, Platform: plat, NoContention: noCont, Seed: seed,
+		SolverWorkers: solverWorkers, RateTolerance: rateTol}
 	if dynArg != "" {
 		sched, err := dynamics.Load(dynArg)
 		if err != nil {

@@ -1,0 +1,21 @@
+package dynamics
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"smpigo/internal/lmm"
+)
+
+// TestMain arms lmm.CheckAfterSolve for the dynamics suite: capacity
+// retuning and flow injection are exactly the mutations that could leave a
+// component in an invalid allocation, so every solve they trigger is
+// validated at the source (see the hook's doc in internal/lmm).
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if f := flag.Lookup("test.bench"); f == nil || f.Value.String() == "" {
+		lmm.CheckAfterSolve = true
+	}
+	os.Exit(m.Run())
+}

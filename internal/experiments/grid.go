@@ -68,6 +68,16 @@ type GridSpec struct {
 	// them into Summary.Stats. Counters never enter the fingerprint, so a
 	// stats sweep fingerprints identically to a plain one.
 	Stats bool
+	// SolverWorkers bounds each job's LMM worker pool (smpi.Config's
+	// SolverWorkers field). Results are bit-identical at any setting, so —
+	// like Stats — it never moves a fingerprint.
+	SolverWorkers int
+	// RateTolerance opts every surf job into bounded-staleness solving
+	// (smpi.Config's RateTolerance field). 0 is exact. A positive eps
+	// changes simulated times deterministically: fingerprints remain
+	// bit-identical at any -parallel or SolverWorkers setting, but differ
+	// from the exact-mode fingerprints.
+	RateTolerance float64
 }
 
 // gridPoint is one scenario coordinate of the expanded grid.
@@ -297,6 +307,8 @@ func (e *Env) GridCampaign(spec GridSpec) (*campaign.Summary, error) {
 			return nil, err
 		}
 		cfg.Algorithms = algos
+		cfg.SolverWorkers = spec.SolverWorkers
+		cfg.RateTolerance = spec.RateTolerance
 		if pt.dynamics != "" {
 			// Re-parse the canonical form per job: schedules are armed on the
 			// job's own kernel and mutate only its solver state, so concurrent

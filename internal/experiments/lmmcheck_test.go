@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"smpigo/internal/lmm"
+)
+
+// TestMain arms lmm.CheckAfterSolve for the campaign suite: the golden
+// fingerprint tests and figure reproductions drive millions of solver steps
+// through realistic traffic, so invariant checking here is the broadest
+// net for solver regressions (see the hook's doc in internal/lmm).
+// Benchmark runs are exempt — gate baselines assume uninstrumented solves.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if f := flag.Lookup("test.bench"); f == nil || f.Value.String() == "" {
+		lmm.CheckAfterSolve = true
+	}
+	os.Exit(m.Run())
+}

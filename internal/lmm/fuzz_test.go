@@ -1,0 +1,283 @@
+package lmm
+
+import (
+	"math"
+	"testing"
+)
+
+// The fuzz targets drive the same churn space as
+// TestIncrementalMatchesFromScratch — add/remove variables, retune
+// capacities, vary shares and bounds — but let the fuzzer pick the op
+// sequence from raw bytes instead of a fixed RNG, so the corpus can walk
+// into dirty-set corners the property test's distribution rarely visits.
+//
+// fuzzOps decodes one byte stream into a deterministic churn schedule:
+//
+//	byte 0          constraint count (3..10)
+//	byte 1..n       one byte per constraint: capacity (b%100)/2, FatPipe
+//	                when b%5 == 4
+//	rest            op stream, one op per group of bytes (see fuzzChurn)
+//
+// Every byte is consumed modulo its domain, so all inputs are valid — the
+// fuzzer can only explore, never "miss".
+
+// fuzzReader hands out bytes until the input is exhausted.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) next() (byte, bool) {
+	if r.pos >= len(r.data) {
+		return 0, false
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, true
+}
+
+// fuzzChurn replays the decoded schedule on an incrementally-solved system.
+// With eps == 0 it asserts full bit-identity against from-scratch rebuilds
+// (plus Check after every op); with eps > 0 it asserts the bounded-staleness
+// feasibility contract: capacities and bounds are never over-committed, no
+// allocation is negative, and zero-weight variables stay at zero.
+func fuzzChurn(t *testing.T, data []byte, eps float64) {
+	r := &fuzzReader{data: data}
+	b, ok := r.next()
+	if !ok {
+		return
+	}
+	nCons := 3 + int(b)%8
+	type consSpec struct {
+		capacity float64
+		policy   SharingPolicy
+	}
+	specs := make([]consSpec, nCons)
+	s := New()
+	if eps > 0 {
+		s.SetRateTolerance(eps)
+	}
+	cons := make([]*Constraint, nCons)
+	for i := range cons {
+		cb, ok := r.next()
+		if !ok {
+			cb = byte(17 * (i + 1))
+		}
+		specs[i] = consSpec{capacity: float64(cb%100) / 2, policy: Shared}
+		if cb%5 == 4 {
+			specs[i].policy = FatPipe
+		}
+		cons[i] = s.NewConstraint("c", specs[i].capacity, specs[i].policy)
+	}
+
+	weights := [4]float64{0, 0.5, 1, 2}
+	var live []churnRecord
+	addVar := func() bool {
+		wb, ok := r.next()
+		if !ok {
+			return false
+		}
+		weight := weights[wb%4]
+		bound := math.Inf(1)
+		if bb, ok := r.next(); ok && bb%3 == 0 {
+			bound = float64(bb%120) / 4
+		}
+		hb, _ := r.next()
+		hops := 1 + int(hb)%3
+		route := make([]int, 0, hops)
+		for len(route) < hops {
+			rb, ok := r.next()
+			if !ok {
+				break
+			}
+			h := int(rb) % nCons
+			dup := false
+			for _, e := range route {
+				if e == h {
+					dup = true
+				}
+			}
+			if !dup {
+				route = append(route, h)
+			}
+		}
+		if len(route) == 0 {
+			route = append(route, int(hb)%nCons)
+		}
+		v := s.NewVariable("v", weight, bound)
+		for _, h := range route {
+			s.Attach(v, cons[h])
+		}
+		live = append(live, churnRecord{v: v, weight: weight, bound: bound, route: route})
+		return true
+	}
+
+	checkFeasible := func(op int) {
+		for i, c := range cons {
+			if c.Policy != Shared {
+				continue
+			}
+			u := 0.0
+			for _, v := range c.vars {
+				u += v.Value
+			}
+			if u > c.Capacity*(1+checkRelTol)+checkAbsTol {
+				t.Fatalf("op %d: constraint %d over capacity: %g > %g (eps %g)", op, i, u, c.Capacity, eps)
+			}
+		}
+		for i, rec := range live {
+			v := rec.v
+			if v.Value < -checkAbsTol {
+				t.Fatalf("op %d: var %d negative allocation %g", op, i, v.Value)
+			}
+			if v.Weight == 0 && v.Value != 0 {
+				t.Fatalf("op %d: zero-weight var %d has allocation %g", op, i, v.Value)
+			}
+			if b := v.effectiveBound(); !math.IsInf(b, 1) && v.Value > b*(1+checkRelTol)+checkAbsTol {
+				t.Fatalf("op %d: var %d exceeds bound: %g > %g", op, i, v.Value, b)
+			}
+		}
+	}
+
+	crossCheck := func(op int) {
+		// Bitwise reference 1: from-scratch rebuild of the survivors, under
+		// the constraints' current capacities.
+		ref := New()
+		refCons := make([]*Constraint, nCons)
+		for i := range specs {
+			refCons[i] = ref.NewConstraint("c", cons[i].Capacity, specs[i].policy)
+		}
+		refVars := make([]*Variable, len(live))
+		for i, rec := range live {
+			refVars[i] = ref.NewVariable("v", rec.v.Weight, rec.v.Bound)
+			for _, h := range rec.route {
+				ref.Attach(refVars[i], refCons[h])
+			}
+		}
+		ref.SolveFull()
+		for i, rec := range live {
+			if rec.v.Value != refVars[i].Value {
+				t.Fatalf("op %d: incremental value %v != from-scratch %v (var %d)",
+					op, rec.v.Value, refVars[i].Value, i)
+			}
+		}
+		// Bitwise reference 2: in-place full re-solve.
+		got := make([]float64, len(live))
+		for i, rec := range live {
+			got[i] = rec.v.Value
+		}
+		s.SolveFull()
+		for i, rec := range live {
+			if rec.v.Value != got[i] {
+				t.Fatalf("op %d: SolveFull value %v != incremental %v (var %d)",
+					op, rec.v.Value, got[i], i)
+			}
+		}
+	}
+
+	const maxOps = 48
+	for op := 0; op < maxOps; op++ {
+		ob, ok := r.next()
+		if !ok {
+			break
+		}
+		switch ob % 6 {
+		case 0, 1:
+			if len(live) >= 40 || !addVar() {
+				if len(live) == 0 {
+					return
+				}
+				ib, _ := r.next()
+				i := int(ib) % len(live)
+				s.RemoveVariable(live[i].v)
+				live = append(live[:i], live[i+1:]...)
+			}
+		case 2:
+			if len(live) == 0 {
+				continue
+			}
+			ib, _ := r.next()
+			i := int(ib) % len(live)
+			s.RemoveVariable(live[i].v)
+			live = append(live[:i], live[i+1:]...)
+		case 3:
+			ib, _ := r.next()
+			cb, _ := r.next()
+			s.SetCapacity(cons[int(ib)%nCons], float64(cb%100)/2)
+		case 4:
+			if len(live) == 0 {
+				continue
+			}
+			ib, _ := r.next()
+			wb, _ := r.next()
+			v := live[int(ib)%len(live)].v
+			v.Weight = weights[wb%4]
+			s.MarkVariableDirty(v)
+		case 5:
+			if len(live) == 0 {
+				continue
+			}
+			ib, _ := r.next()
+			bb, _ := r.next()
+			v := live[int(ib)%len(live)].v
+			if bb%3 == 0 {
+				v.Bound = math.Inf(1)
+			} else {
+				v.Bound = float64(bb%120) / 4
+			}
+			s.MarkVariableDirty(v)
+		}
+		s.Solve()
+		if eps == 0 {
+			if err := s.Check(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if op%4 == 0 {
+				crossCheck(op)
+			}
+		} else {
+			checkFeasible(op)
+		}
+	}
+	if eps == 0 {
+		crossCheck(maxOps)
+	}
+}
+
+// fuzzSeeds is the committed starting corpus (also mirrored under
+// testdata/fuzz/): op streams distilled from the churn property test's
+// distribution — add-heavy growth, remove-heavy drain, capacity retuning,
+// and share/bound variation.
+var fuzzSeeds = [][]byte{
+	[]byte("0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"),
+	[]byte("\x05aaaaaa000000000000111111111111222222333333444444555555"),
+	[]byte("\x09\x04\x13\x22\x31\x40\x4f\x5e\x6d\x7cadd00add11add22rm3cap4w5b6add77add88rm9capAwBbCaddDDrmEcapF"),
+	[]byte("\x03\x63\x63\x63000000333333333333444444444444555555555555000000222222"),
+	[]byte("lmm-churn: grow, retune, vary, drain; grow, retune, vary, drain"),
+}
+
+// FuzzIncrementalMatchesFromScratch fuzzes the exact incremental solver:
+// after every decoded churn op the incremental allocation must satisfy
+// System.Check and match a from-scratch rebuild bit-for-bit. This is the
+// property test's oracle under fuzzer-chosen schedules.
+func FuzzIncrementalMatchesFromScratch(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzChurn(t, data, 0)
+	})
+}
+
+// FuzzBoundedStalenessFeasible fuzzes the bounded-staleness mode
+// (SetRateTolerance > 0): stale rates may drift from exact max-min by eps,
+// but feasibility must stay hard — no over-committed capacity, no exceeded
+// bound, no negative or zero-weight allocation — under any churn schedule.
+func FuzzBoundedStalenessFeasible(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzChurn(t, data, 1e-3)
+	})
+}

@@ -1,0 +1,184 @@
+package lmm
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// parallelScript is a pre-generated churn schedule: the same ops are applied
+// to one System per worker-count setting, so any cross-system divergence is
+// the solver's fault, never the schedule's.
+type parallelOp struct {
+	pod    int
+	remove int // index into the pod's live list
+	weight float64
+	bound  float64
+	route  []int // constraint indices within the pod
+}
+
+// TestParallelSolveDeterministic drives identical churn through systems
+// configured with workers ∈ {1, 2, 8, GOMAXPROCS} and asserts bit-identical
+// allocations and Resolved() lengths after every solve. The "pods" topology
+// — independent components churned together — makes the worker pool
+// actually engage (the test verifies it via Stats.ParallelSolves); the same
+// assertion then runs in bounded-staleness mode, whose region algorithm
+// must be equally worker-independent. Runs under -race in CI, which turns
+// any cross-component data race in the pool into a hard failure.
+func TestParallelSolveDeterministic(t *testing.T) {
+	const (
+		pods       = 8
+		consPerPod = 6
+		varsPerPod = 16
+		steps      = 50
+	)
+	workerSet := []int{1, 2, 8, runtime.GOMAXPROCS(0)}
+
+	// Generate the schedule once.
+	rng := rand.New(rand.NewSource(42))
+	script := make([][]parallelOp, steps)
+	for i := range script {
+		ops := make([]parallelOp, pods)
+		for p := range ops {
+			hops := 1 + rng.Intn(3)
+			route := rng.Perm(consPerPod)[:hops]
+			bound := math.Inf(1)
+			if rng.Intn(3) == 0 {
+				bound = float64(1+rng.Intn(40)) / 4
+			}
+			ops[p] = parallelOp{
+				pod:    p,
+				remove: rng.Intn(varsPerPod),
+				weight: []float64{0.5, 1, 1, 2}[rng.Intn(4)],
+				bound:  bound,
+				route:  route,
+			}
+		}
+		script[i] = ops
+	}
+
+	for _, eps := range []float64{0, 1e-3} {
+		type instance struct {
+			sys   *System
+			live  [][]*Variable // per pod
+			cons  [][]*Constraint
+			stats *Stats
+		}
+		build := func(workers int) *instance {
+			s := New()
+			s.SetSolverWorkers(workers)
+			if eps > 0 {
+				s.SetRateTolerance(eps)
+			}
+			inst := &instance{sys: s, stats: &Stats{}}
+			s.Stats = inst.stats
+			seed := rand.New(rand.NewSource(7))
+			for p := 0; p < pods; p++ {
+				cons := make([]*Constraint, consPerPod)
+				for c := range cons {
+					cons[c] = s.NewConstraint("c", float64(5+seed.Intn(50)), Shared)
+				}
+				vars := make([]*Variable, varsPerPod)
+				for v := range vars {
+					vars[v] = s.NewVariable("v", 1, math.Inf(1))
+					hops := 1 + seed.Intn(3)
+					for _, h := range seed.Perm(consPerPod)[:hops] {
+						s.Attach(vars[v], cons[h])
+					}
+				}
+				inst.cons = append(inst.cons, cons)
+				inst.live = append(inst.live, vars)
+			}
+			s.Solve()
+			return inst
+		}
+
+		insts := make([]*instance, len(workerSet))
+		for i, w := range workerSet {
+			insts[i] = build(w)
+		}
+
+		for step, ops := range script {
+			for _, inst := range insts {
+				for _, op := range ops {
+					old := inst.live[op.pod][op.remove]
+					inst.sys.RemoveVariable(old)
+					v := inst.sys.NewVariable("v", op.weight, op.bound)
+					for _, h := range op.route {
+						inst.sys.Attach(v, inst.cons[op.pod][h])
+					}
+					inst.live[op.pod][op.remove] = v
+				}
+				inst.sys.Solve()
+			}
+			ref := insts[0]
+			for i, inst := range insts[1:] {
+				if got, want := len(inst.sys.Resolved()), len(ref.sys.Resolved()); got != want {
+					t.Fatalf("eps %g step %d: workers=%d resolved %d vars, workers=%d resolved %d",
+						eps, step, workerSet[i+1], got, workerSet[0], want)
+				}
+				for p := 0; p < pods; p++ {
+					for j, v := range inst.live[p] {
+						if v.Value != ref.live[p][j].Value {
+							t.Fatalf("eps %g step %d: pod %d var %d: workers=%d value %v, workers=%d value %v",
+								eps, step, p, j, workerSet[i+1], v.Value, workerSet[0], ref.live[p][j].Value)
+						}
+					}
+				}
+			}
+		}
+
+		// The multi-worker instances must actually have exercised the pool:
+		// 8 dirty pods × 16 vars per step is past the parallelMinVars
+		// threshold whenever the configured bound allows more than one
+		// worker.
+		for i, w := range workerSet {
+			if w > 1 && insts[i].stats.ParallelSolves == 0 {
+				t.Fatalf("eps %g: workers=%d never engaged the pool (threshold bug?)", eps, w)
+			}
+			if w == 1 && insts[i].stats.ParallelSolves != 0 {
+				t.Fatalf("eps %g: workers=1 engaged the pool", eps)
+			}
+		}
+	}
+}
+
+// TestSolverWorkersValidation pins the knob semantics: n <= 0 selects
+// GOMAXPROCS, anything else is taken as-is, and the default is serial.
+func TestSolverWorkersValidation(t *testing.T) {
+	s := New()
+	if got := s.SolverWorkers(); got != 1 {
+		t.Fatalf("default workers = %d, want 1", got)
+	}
+	s.SetSolverWorkers(4)
+	if got := s.SolverWorkers(); got != 4 {
+		t.Fatalf("workers = %d, want 4", got)
+	}
+	s.SetSolverWorkers(0)
+	if got := s.SolverWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("workers = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestRateToleranceValidation pins the eps domain: [0, 1), NaN rejected.
+func TestRateToleranceValidation(t *testing.T) {
+	s := New()
+	if got := s.RateTolerance(); got != 0 {
+		t.Fatalf("default eps = %g, want 0", got)
+	}
+	s.SetRateTolerance(1e-3)
+	if got := s.RateTolerance(); got != 1e-3 {
+		t.Fatalf("eps = %g, want 1e-3", got)
+	}
+	for _, bad := range []float64{-1e-9, 1, 2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetRateTolerance(%v) did not panic", bad)
+				}
+			}()
+			s.SetRateTolerance(bad)
+		}()
+	}
+}

@@ -1,0 +1,23 @@
+package surf
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"smpigo/internal/lmm"
+)
+
+// TestMain arms lmm.CheckAfterSolve for the whole surf suite: every solve
+// either model triggers is validated against the max-min invariants at the
+// solve that produced it, so a solver bug fails here as a panic with the
+// violated invariant instead of three layers later as a wrong completion
+// date. Benchmark runs are exempt — the BENCH_event.json gate baselines
+// assume uninstrumented solves.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if f := flag.Lookup("test.bench"); f == nil || f.Value.String() == "" {
+		lmm.CheckAfterSolve = true
+	}
+	os.Exit(m.Run())
+}
