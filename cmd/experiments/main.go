@@ -44,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 
+	"smpigo/internal/campaign"
 	"smpigo/internal/core"
 	"smpigo/internal/experiments"
 	"smpigo/internal/obs"
@@ -222,6 +223,7 @@ func runCampaign(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	solverWorkers := fs.Int("solver-workers", 0, "per-job LMM solver worker pool (0 or 1 = serial, -1 = GOMAXPROCS); results are bit-identical at any setting")
 	rateTol := fs.Float64("rate-tolerance", 0, "bounded-staleness solver tolerance eps in [0,1); 0 = exact (flows whose rate would move by less than eps keep their stale rate)")
+	shardArg := fs.String("shard", "", "run only shard i/n of the expanded grid (e.g. 0/2); shard summaries merge back to the unsharded fingerprint (smpigod /v1/campaigns/merge)")
 	seed := fs.Uint64("seed", 0, "campaign seed; per-job seeds derive from it")
 	jsonOut := fs.Bool("json", false, "emit the full campaign summary as JSON")
 	statsOn := fs.Bool("stats", false, "collect kernel counters per job and print the campaign aggregate")
@@ -263,6 +265,12 @@ func runCampaign(args []string) error {
 		SolverWorkers: *solverWorkers,
 		RateTolerance: *rateTol,
 	}
+	if *shardArg != "" {
+		spec.ShardIndex, spec.ShardCount, err = experiments.ParseShard(*shardArg)
+		if err != nil {
+			return fmt.Errorf("-shard: %w", err)
+		}
+	}
 
 	env, err := experiments.NewEnv()
 	if err != nil {
@@ -275,7 +283,13 @@ func runCampaign(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		if err := emitJSON(sum); err != nil {
+		// The summary plus its fingerprint, so scripts (the CI service-smoke
+		// job) can compare batch and served runs without scraping the table.
+		out := struct {
+			*campaign.Summary
+			Fingerprint string `json:"fingerprint"`
+		}{sum, sum.Fingerprint()}
+		if err := emitJSON(out); err != nil {
 			return err
 		}
 	} else {

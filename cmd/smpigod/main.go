@@ -1,0 +1,79 @@
+// Command smpigod serves the campaign engine over HTTP: POST an
+// experiments.GridSpec campaign, stream its per-job results, fetch its
+// summary and fingerprint, and let the fingerprint-keyed result cache answer
+// repeat what-if queries without re-simulating. See internal/service for the
+// API and docs/ARCHITECTURE.md "Campaign service" for the design.
+//
+// Usage:
+//
+//	smpigod [-addr :8642] [-queue 16] [-cache-size 128] [-parallel N]
+//
+// The server drains gracefully on SIGINT/SIGTERM: listeners close, the
+// running campaign's in-flight jobs finish, queued work is skipped.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smpigo/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8642", "listen address")
+		queue     = flag.Int("queue", 16, "campaign queue depth; submissions beyond it get 429 + Retry-After")
+		cacheSize = flag.Int("cache-size", 128, "result cache entries (LRU); negative disables caching")
+		parallel  = flag.Int("parallel", 0, "worker pool size per campaign (0 = GOMAXPROCS; fingerprints are identical at any setting)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "smpigod: unexpected arguments %q\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := service.New(service.Config{
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		Workers:    *parallel,
+	})
+	if err != nil {
+		log.Fatalf("smpigod: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("smpigod: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("smpigod: http shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("smpigod: serving on %s (queue %d, cache %d, parallel %d)", *addr, *queue, *cacheSize, *parallel)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("smpigod: %v", err)
+	}
+	// Listeners are closed; cancel the running campaign and wait for the
+	// runner so the final counters are complete.
+	srv.Close()
+	log.Printf("smpigod: done\n%s", srv.Stats().Report())
+}

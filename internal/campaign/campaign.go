@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -74,6 +75,9 @@ type Result struct {
 	Error string `json:"error,omitempty"`
 	// Panicked reports that Err came from a recovered panic.
 	Panicked bool `json:"panicked,omitempty"`
+	// Skipped reports that the job never ran because the campaign's context
+	// was canceled first; Err carries the cancellation cause.
+	Skipped bool `json:"skipped,omitempty"`
 	// Wall is the job's wall-clock duration (nondeterministic; excluded
 	// from the fingerprint).
 	Wall time.Duration `json:"wall_ns"`
@@ -85,6 +89,13 @@ type Options struct {
 	Workers int
 	// Seed is the campaign seed every job seed derives from.
 	Seed uint64
+	// OnResult, when non-nil, is invoked once per job as soon as its result
+	// is known — in completion order, not submission order — so callers can
+	// stream progress while the pool is still running. Invocations are
+	// serialized (never concurrent with each other); the callback must not
+	// block for long, since it stalls the worker that completed the job.
+	// Cancellation-skipped jobs are reported too, after the pool drains.
+	OnResult func(i int, r Result)
 }
 
 // Summary aggregates a completed campaign.
@@ -93,6 +104,15 @@ type Summary struct {
 	Workers int    `json:"workers"`
 	Jobs    int    `json:"jobs"`
 	Failed  int    `json:"failed"`
+	// Canceled reports that the run's context was canceled before every job
+	// ran: in-flight jobs finished, but jobs not yet handed to a worker were
+	// skipped (their Results carry the context's error and Skipped=true).
+	// A canceled summary is partial — its fingerprint must not be compared
+	// against a completed run's, and result caches must not store it.
+	Canceled bool `json:"canceled,omitempty"`
+	// Skipped counts the jobs never started because of cancellation. They
+	// are included in Failed as well (their Err is non-nil).
+	Skipped int `json:"skipped,omitempty"`
 	// Results are in job submission order, independent of completion order.
 	Results []Result `json:"results"`
 	// TotalSimulated and MaxSimulated aggregate the jobs' simulated times.
@@ -131,6 +151,15 @@ func MergeStats(into, from map[string]float64) map[string]float64 {
 // Job IDs must be unique; duplicates are reported as failures of the later
 // job without running it.
 func Run(opts Options, jobs []Job) *Summary {
+	return RunAll(context.Background(), opts, jobs)
+}
+
+// RunAll is Run with cancellation: when ctx is canceled mid-campaign the
+// pool drains — jobs already handed to a worker finish normally, jobs still
+// queued are skipped with the context's error — and the summary comes back
+// with Canceled set. A finished campaign is indistinguishable from a plain
+// Run: cancellation after the last job was dispatched changes nothing.
+func RunAll(ctx context.Context, opts Options, jobs []Job) *Summary {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -154,6 +183,17 @@ func Run(opts Options, jobs []Job) *Summary {
 		seen[j.ID] = true
 	}
 
+	// emit serializes OnResult invocations across workers.
+	var emitMu sync.Mutex
+	emit := func(i int) {
+		if opts.OnResult == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		opts.OnResult(i, sum.Results[i])
+	}
+
 	start := time.Now()
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -163,14 +203,36 @@ func Run(opts Options, jobs []Job) *Summary {
 			defer wg.Done()
 			for i := range idx {
 				sum.Results[i] = runOne(opts.Seed, jobs[i], dup[i])
+				emit(i)
 			}
 		}()
 	}
-	for i := range jobs {
-		idx <- i
+	next := 0
+feed:
+	for ; next < len(jobs); next++ {
+		select {
+		case idx <- next:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if next < len(jobs) {
+		sum.Canceled = true
+		cause := context.Cause(ctx)
+		for i := next; i < len(jobs); i++ {
+			sum.Results[i] = Result{
+				ID:      jobs[i].ID,
+				Tags:    jobs[i].Tags,
+				Seed:    core.DeriveSeed(opts.Seed, jobs[i].ID),
+				Skipped: true,
+				Err:     fmt.Errorf("campaign: job %q skipped: %w", jobs[i].ID, cause),
+			}
+			sum.Skipped++
+			emit(i)
+		}
+	}
 	sum.Wall = time.Since(start)
 
 	for i := range sum.Results {
@@ -262,7 +324,9 @@ func (s *Summary) Fingerprint() string {
 		r := &s.Results[i]
 		mixStr(r.ID)
 		mixU64(r.Seed)
-		if r.Err != nil {
+		// Error (the string mirror) covers summaries that crossed a process
+		// boundary as JSON, where Err did not survive serialization.
+		if r.Err != nil || r.Error != "" {
 			mixStr("failed")
 			continue
 		}

@@ -1,0 +1,169 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smpigo/internal/core"
+)
+
+// TestCancelMidCampaign cancels a campaign while jobs are in flight and
+// asserts the drain contract: started jobs finish and report outcomes,
+// unstarted jobs are skipped with the cancellation cause, the summary is
+// marked canceled, and every pool goroutine exits (counted directly — the
+// worker count is part of the assertion, not inferred from timing).
+func TestCancelMidCampaign(t *testing.T) {
+	const jobs, workers = 40, 4
+	cause := errors.New("client went away")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+
+	var started, finished atomic.Int64
+	release := make(chan struct{})
+	var cancelOnce sync.Once
+	js := make([]Job, jobs)
+	for i := range js {
+		js[i] = Job{
+			ID: fmt.Sprintf("job-%03d", i),
+			Run: func(*Ctx) (*Outcome, error) {
+				started.Add(1)
+				// The first wave of jobs cancels the campaign, then blocks
+				// until the test releases it — proving in-flight jobs finish
+				// after cancellation rather than being torn down.
+				cancelOnce.Do(func() { cancel(cause) })
+				<-release
+				finished.Add(1)
+				return &Outcome{SimulatedTime: 1}, nil
+			},
+		}
+	}
+
+	before := runtime.NumGoroutine()
+	done := make(chan *Summary)
+	go func() { done <- RunAll(ctx, Options{Workers: workers, Seed: 3}, js) }()
+
+	// Wait until cancellation has propagated, then release the in-flight
+	// jobs. The feed loop may dispatch a bounded number of extra jobs that
+	// were already racing the cancel; releasing everyone lets them drain.
+	<-ctx.Done()
+	close(release)
+	sum := <-done
+
+	if !sum.Canceled {
+		t.Fatal("summary not marked canceled")
+	}
+	ran := int(started.Load())
+	if int(finished.Load()) != ran {
+		t.Errorf("%d jobs started but %d finished: in-flight jobs must complete", ran, finished.Load())
+	}
+	if ran == jobs {
+		t.Fatal("every job ran; cancellation came too late to test the drain")
+	}
+	if sum.Skipped != jobs-ran {
+		t.Errorf("skipped = %d, want %d (jobs %d - ran %d)", sum.Skipped, jobs-ran, jobs, ran)
+	}
+	if sum.Failed != sum.Skipped {
+		t.Errorf("failed = %d, want %d (only skips)", sum.Failed, sum.Skipped)
+	}
+	var sawOutcome, sawSkip bool
+	for i := range sum.Results {
+		r := &sum.Results[i]
+		switch {
+		case r.Skipped:
+			sawSkip = true
+			if !errors.Is(r.Err, cause) {
+				t.Fatalf("job %s skip error %v does not wrap the cancellation cause", r.ID, r.Err)
+			}
+			if r.Seed != core.DeriveSeed(3, r.ID) {
+				t.Errorf("job %s skip result lost its derived seed", r.ID)
+			}
+		case r.Err != nil:
+			t.Fatalf("job %s failed rather than ran or skipped: %v", r.ID, r.Err)
+		default:
+			sawOutcome = true
+			if r.Outcome == nil {
+				t.Fatalf("job %s has neither outcome nor error", r.ID)
+			}
+		}
+	}
+	if !sawOutcome || !sawSkip {
+		t.Fatalf("want both finished and skipped jobs (outcome=%v skip=%v)", sawOutcome, sawSkip)
+	}
+
+	// No goroutine leak: the pool's workers must all have exited. NumGoroutine
+	// counts unrelated runtime goroutines too, so poll back down to the
+	// pre-campaign level instead of expecting an instant exact match.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine count stuck at %d (> %d before the campaign): worker leak", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelBeforeStart: a context canceled before RunAll dispatches
+// anything skips every job.
+func TestCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	sum := RunAll(ctx, Options{Workers: 2, Seed: 1}, []Job{
+		{ID: "a", Run: func(*Ctx) (*Outcome, error) { ran = true; return &Outcome{}, nil }},
+		{ID: "b", Run: func(*Ctx) (*Outcome, error) { ran = true; return &Outcome{}, nil }},
+	})
+	if ran {
+		t.Error("a job ran under a pre-canceled context")
+	}
+	if !sum.Canceled || sum.Skipped != 2 || sum.Failed != 2 {
+		t.Errorf("canceled=%v skipped=%d failed=%d, want true/2/2", sum.Canceled, sum.Skipped, sum.Failed)
+	}
+}
+
+// TestUncanceledRunAllMatchesRun: threading a live context through changes
+// nothing — fingerprints match plain Run exactly.
+func TestUncanceledRunAllMatchesRun(t *testing.T) {
+	a := Run(Options{Workers: 3, Seed: 21}, noisyJobs(16))
+	b := RunAll(context.Background(), Options{Workers: 3, Seed: 21}, noisyJobs(16))
+	if b.Canceled || b.Skipped != 0 {
+		t.Fatalf("background-context run marked canceled: %+v", b)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("RunAll fingerprint %s != Run fingerprint %s", b.Fingerprint(), a.Fingerprint())
+	}
+}
+
+// TestOnResultStreams: the streaming hook sees every job exactly once with
+// the result that lands in the summary, and invocations never overlap.
+func TestOnResultStreams(t *testing.T) {
+	const n = 30
+	var mu sync.Mutex
+	var inCallback atomic.Int32
+	got := make(map[int]Result)
+	sum := Run(Options{Workers: 4, Seed: 8, OnResult: func(i int, r Result) {
+		if inCallback.Add(1) != 1 {
+			t.Error("OnResult invoked concurrently")
+		}
+		defer inCallback.Add(-1)
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := got[i]; dup {
+			t.Errorf("OnResult saw job %d twice", i)
+		}
+		got[i] = r
+	}}, noisyJobs(n))
+	if len(got) != n {
+		t.Fatalf("OnResult saw %d jobs, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r.ID != sum.Results[i].ID || r.Outcome != sum.Results[i].Outcome {
+			t.Errorf("job %d: streamed result diverges from summary", i)
+		}
+	}
+}

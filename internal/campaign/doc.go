@@ -25,4 +25,12 @@
 // experiments layer seeds each simulation's per-rank RNGs from it, and the
 // placement axis generates its seeded random rank mappings from it, which
 // is why sweeping "-placements random" stays reproducible in parallel.
+//
+// RunAll adds cancellation for long-running callers (the campaign
+// service): when the context fires, in-flight jobs finish and the rest
+// land as skipped results with their derived seeds intact, the summary
+// marked Canceled. Options.OnResult streams results in completion order,
+// and Merge recombines contiguous shard summaries of one grid back into
+// the unsharded summary — fingerprint-identically (see
+// experiments.GridSpec's shard fields).
 package campaign

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"smpigo/internal/campaign"
@@ -24,37 +26,37 @@ import (
 type GridSpec struct {
 	// Op is the measured operation: "scatter", "alltoall", "bcast",
 	// "allreduce", or "pingpong".
-	Op string
+	Op string `json:"op"`
 	// Procs are the process counts to sweep (pingpong always uses 2).
-	Procs []int
+	Procs []int `json:"procs"`
 	// Sizes are the per-rank message sizes in bytes.
-	Sizes []int64
+	Sizes []int64 `json:"sizes"`
 	// Models are the analytical point-to-point models to sweep for the
 	// surf backend: "piecewise", "bestfit", "default", "ideal".
-	Models []string
+	Models []string `json:"models,omitempty"`
 	// Backends selects timing backends: "surf" (analytical; crossed with
 	// Models) and/or "openmpi", "mpich2" (packet-level testbed emulation).
-	Backends []string
+	Backends []string `json:"backends,omitempty"`
 	// Platform is "griffon" (default) or "gdx". Ignored when Topologies is
 	// set.
-	Platform string
+	Platform string `json:"platform,omitempty"`
 	// Topologies optionally adds a platform axis to the sweep: each entry
 	// is "griffon", "gdx", a topology preset (fattree64, torus64,
 	// dragonfly72, ...), or a topology shape string such as
 	// "fattree:4x4:1x4", "torus:4x4x4", "dragonfly:9x4x2". Every scenario
 	// point is then crossed with every topology.
-	Topologies []string
+	Topologies []string `json:"topologies,omitempty"`
 	// Placements optionally adds a rank-placement axis: "block", "rr", or
 	// "random" (see package placement). The random mapping derives from the
 	// job's campaign seed, so fingerprints stay bit-identical at any
 	// -parallel setting. Empty means the smpi default layout (round-robin
 	// over all hosts, unpinned).
-	Placements []string
+	Placements []string `json:"placements,omitempty"`
 	// Collectives selects collective algorithm variants for every job, in
 	// smpi.ParseAlgorithms grammar: "" or "default" for the package
 	// defaults, "auto" for topology-keyed selection, or per-collective
 	// overrides like "bcast=ring,allreduce=auto".
-	Collectives string
+	Collectives string `json:"collectives,omitempty"`
 	// Dynamics optionally adds a platform-event axis: each entry is a
 	// dynamics schedule in the grammar of internal/dynamics ("" or "none"
 	// for a static platform), so a sweep can compare the same scenarios on
@@ -62,22 +64,32 @@ type GridSpec struct {
 	// expansion; non-empty schedules require the surf backend. Events mutate
 	// only per-job solver state, never the shared platform, so fingerprints
 	// stay bit-identical at any -parallel setting.
-	Dynamics []string
+	Dynamics []string `json:"dynamics,omitempty"`
 	// Stats attaches a per-job obs.Stats to every simulation and records
 	// the non-zero counters in each Outcome.Stats; campaign.Run aggregates
 	// them into Summary.Stats. Counters never enter the fingerprint, so a
 	// stats sweep fingerprints identically to a plain one.
-	Stats bool
+	Stats bool `json:"stats,omitempty"`
 	// SolverWorkers bounds each job's LMM worker pool (smpi.Config's
 	// SolverWorkers field). Results are bit-identical at any setting, so —
 	// like Stats — it never moves a fingerprint.
-	SolverWorkers int
+	SolverWorkers int `json:"solver_workers,omitempty"`
 	// RateTolerance opts every surf job into bounded-staleness solving
 	// (smpi.Config's RateTolerance field). 0 is exact. A positive eps
 	// changes simulated times deterministically: fingerprints remain
 	// bit-identical at any -parallel or SolverWorkers setting, but differ
 	// from the exact-mode fingerprints.
-	RateTolerance float64
+	RateTolerance float64 `json:"rate_tolerance,omitempty"`
+	// ShardIndex/ShardCount split the expanded grid by job-index range so
+	// one sweep can run across several processes or machines: shard i of n
+	// keeps points [i·P/n, (i+1)·P/n) of the P-point grid, with job IDs and
+	// derived seeds identical to the unsharded run's. Campaign summaries of
+	// all n shards, merged in shard order with campaign.Merge, fingerprint
+	// identically to the unsharded campaign. ShardCount 0 (with ShardIndex
+	// 0) means unsharded; n larger than the grid simply leaves some shards
+	// empty.
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
 }
 
 // gridPoint is one scenario coordinate of the expanded grid.
@@ -235,7 +247,47 @@ func (spec GridSpec) expand() ([]gridPoint, error) {
 			}
 		}
 	}
-	return points, nil
+	return shardSlice(points, spec.ShardIndex, spec.ShardCount)
+}
+
+// shardSlice keeps shard index's contiguous job-index range of the expanded
+// grid. The balanced-split arithmetic (lo = i·P/n) guarantees the n ranges
+// tile [0, P) exactly — every point lands in precisely one shard, shards
+// differ in size by at most one point, and a shard count beyond the grid
+// size yields empty shards rather than an error.
+func shardSlice(points []gridPoint, index, count int) ([]gridPoint, error) {
+	if count == 0 {
+		if index != 0 {
+			return nil, fmt.Errorf("grid: shard index %d without a shard count", index)
+		}
+		return points, nil
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("grid: negative shard count %d", count)
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("grid: shard index %d out of range [0,%d)", index, count)
+	}
+	lo := index * len(points) / count
+	hi := (index + 1) * len(points) / count
+	return points[lo:hi], nil
+}
+
+// ParseShard parses the "i/n" shard shorthand (e.g. "0/2") used by the
+// campaign CLI flag and the service API into ShardIndex/ShardCount values.
+// Range validation happens at expansion time, where the grid size is known.
+func ParseShard(s string) (index, count int, err error) {
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("shard %q: want \"i/n\", e.g. \"0/2\"", s)
+	}
+	if index, err = strconv.Atoi(strings.TrimSpace(i)); err != nil {
+		return 0, 0, fmt.Errorf("shard %q: bad index: %v", s, err)
+	}
+	if count, err = strconv.Atoi(strings.TrimSpace(n)); err != nil {
+		return 0, 0, fmt.Errorf("shard %q: bad count: %v", s, err)
+	}
+	return index, count, nil
 }
 
 func (pt gridPoint) id(op string) string {
@@ -279,10 +331,46 @@ func (pt gridPoint) tags(op string) map[string]string {
 	return t
 }
 
+// Jobs expands the spec and returns how many simulations it holds (after
+// shard slicing), validating every axis on the way — the pre-flight check
+// the campaign service runs before accepting a request, so malformed specs
+// fail with a 400 instead of a queued failure.
+func (spec GridSpec) Jobs() (int, error) {
+	points, err := spec.expand()
+	if err != nil {
+		return 0, err
+	}
+	return len(points), nil
+}
+
+// CampaignOptions adjusts how GridCampaignOpts executes an expanded grid.
+// The zero value reproduces GridCampaign exactly.
+type CampaignOptions struct {
+	// Ctx cancels the campaign mid-run (see campaign.RunAll); nil means
+	// context.Background().
+	Ctx context.Context
+	// Workers overrides Env.Workers when non-zero, so a shared Env (it is a
+	// process-wide singleton) can serve callers with different pool sizes
+	// without mutation.
+	Workers int
+	// Seed overrides Env.Seed when non-nil, for the same reason.
+	Seed *uint64
+	// OnResult streams per-job results in completion order (see
+	// campaign.Options.OnResult).
+	OnResult func(i int, r campaign.Result)
+}
+
 // GridCampaign expands the spec into campaign jobs and runs them on the
 // env's worker pool, returning the full summary (including failures, so a
 // broken scenario point does not void the rest of the sweep).
 func (e *Env) GridCampaign(spec GridSpec) (*campaign.Summary, error) {
+	return e.GridCampaignOpts(spec, CampaignOptions{})
+}
+
+// GridCampaignOpts is GridCampaign with per-call context, worker-pool,
+// seed, and result-streaming control — the entry point the campaign service
+// uses, where one shared Env serves many concurrent requests.
+func (e *Env) GridCampaignOpts(spec GridSpec, o CampaignOptions) (*campaign.Summary, error) {
 	points, err := spec.expand()
 	if err != nil {
 		return nil, err
@@ -343,7 +431,19 @@ func (e *Env) GridCampaign(spec GridSpec) (*campaign.Summary, error) {
 		}
 		jobs = append(jobs, job)
 	}
-	return campaign.Run(campaign.Options{Workers: e.Workers, Seed: e.Seed}, jobs), nil
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := o.Workers
+	if workers == 0 {
+		workers = e.Workers
+	}
+	seed := e.Seed
+	if o.Seed != nil {
+		seed = *o.Seed
+	}
+	return campaign.RunAll(ctx, campaign.Options{Workers: workers, Seed: seed, OnResult: o.OnResult}, jobs), nil
 }
 
 func (e *Env) gridConfig(plat *platform.Platform, pt gridPoint) (smpi.Config, error) {

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"smpigo/internal/campaign"
+)
+
+// shardSpec is a small real grid (2 sizes × 2 models = 4 surf pingpong
+// jobs on the calibrated griffon cluster) cheap enough to run many times.
+func shardSpec() GridSpec {
+	return GridSpec{
+		Op:       "pingpong",
+		Procs:    []int{2},
+		Sizes:    []int64{64 * 1024, 1024 * 1024},
+		Models:   []string{"piecewise", "bestfit"},
+		Backends: []string{"surf"},
+	}
+}
+
+func TestShardMergeMatchesUnsharded(t *testing.T) {
+	e := env(t)
+	seed := uint64(31)
+	run := func(spec GridSpec) *campaign.Summary {
+		t.Helper()
+		sum, err := e.GridCampaignOpts(spec, CampaignOptions{Seed: &seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sum.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	full := run(shardSpec())
+	if full.Jobs != 4 {
+		t.Fatalf("expected a 4-job grid, got %d", full.Jobs)
+	}
+	// Shard counts that divide the grid evenly, unevenly, and beyond its
+	// size (6 shards of 4 jobs: two shards come back empty).
+	for _, n := range []int{2, 3, 6} {
+		parts := make([]*campaign.Summary, n)
+		total := 0
+		for i := range parts {
+			spec := shardSpec()
+			spec.ShardIndex, spec.ShardCount = i, n
+			parts[i] = run(spec)
+			total += parts[i].Jobs
+		}
+		if total != full.Jobs {
+			t.Fatalf("n=%d: shards hold %d jobs, want %d (ranges must tile the grid)", n, total, full.Jobs)
+		}
+		merged, err := campaign.Merge(parts...)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got, want := merged.Fingerprint(), full.Fingerprint(); got != want {
+			t.Errorf("n=%d: merged fingerprint %s, want unsharded %s", n, got, want)
+		}
+	}
+}
+
+func TestShardExpansionEdgeCases(t *testing.T) {
+	e := env(t)
+	// n beyond the grid: every job still runs exactly once, and the surplus
+	// shards come back empty (interleaved by the balanced split) rather
+	// than erroring.
+	total, empty := 0, 0
+	for i := 0; i < 6; i++ {
+		spec := shardSpec()
+		spec.ShardIndex, spec.ShardCount = i, 6
+		sum, err := e.GridCampaign(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += sum.Jobs
+		if sum.Jobs == 0 {
+			empty++
+		}
+	}
+	if total != 4 || empty != 2 {
+		t.Errorf("6 shards of a 4-job grid: %d jobs total, %d empty shards; want 4 and 2", total, empty)
+	}
+
+	for _, tc := range []struct {
+		index, count int
+		want         string
+	}{
+		{2, 2, "out of range"},
+		{-1, 2, "out of range"},
+		{1, 0, "without a shard count"},
+		{0, -3, "negative shard count"},
+	} {
+		spec := shardSpec()
+		spec.ShardIndex, spec.ShardCount = tc.index, tc.count
+		if _, err := e.GridCampaign(spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("shard %d/%d: err = %v, want mention of %q", tc.index, tc.count, err, tc.want)
+		}
+	}
+}
+
+func TestCanonicalizeCollapsesEquivalentSpecs(t *testing.T) {
+	a := GridSpec{
+		Op:         "Alltoall",
+		Procs:      []int{16, 8, 16},
+		Sizes:      []int64{1 << 20, 1 << 16},
+		Backends:   []string{"surf"},
+		Topologies: []string{"torus16", "fattree16"},
+		Placements: []string{"round-robin", "block"},
+	}
+	b := GridSpec{
+		Op:         "alltoall",
+		Procs:      []int{8, 16},
+		Sizes:      []int64{1 << 16, 1 << 20},
+		Models:     []string{"piecewise"}, // the implicit surf default, spelled out
+		Backends:   []string{"SURF"},
+		Topologies: []string{"fattree16", "torus16"},
+		Placements: []string{"block", "rr"},
+	}
+	ca, err := a.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := a.CampaignKey(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.CampaignKey(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Errorf("semantically equal specs key differently:\n  %+v -> %s\n  %+v -> %s", ca, ka, cb, kb)
+	}
+
+	// The canonical spec must expand to the same job set as the original —
+	// the cache-safety argument needs run-what-you-keyed.
+	e := env(t)
+	seed := uint64(7)
+	sumA, err := e.GridCampaignOpts(ca, CampaignOptions{Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumB, err := e.GridCampaignOpts(cb, CampaignOptions{Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumA.Fingerprint() != sumB.Fingerprint() {
+		t.Error("canonicalized equal specs ran different campaigns")
+	}
+}
+
+func TestCampaignKeySeparates(t *testing.T) {
+	spec := shardSpec()
+	k1, err := spec.CampaignKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := spec.CampaignKey(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Error("different seeds share a campaign key")
+	}
+
+	// Result-identical perf knobs are masked out; result-changing ones are
+	// not.
+	workers := spec
+	workers.SolverWorkers = 8
+	kw, err := workers.CampaignKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kw != k1 {
+		t.Error("SolverWorkers moved the campaign key despite bit-identical results")
+	}
+	eps := spec
+	eps.RateTolerance = 1e-3
+	ke, err := eps.CampaignKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ke == k1 {
+		t.Error("RateTolerance did not move the campaign key, but it changes simulated times")
+	}
+	shard := spec
+	shard.ShardIndex, shard.ShardCount = 0, 2
+	ks, err := shard.CampaignKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks == k1 {
+		t.Error("sharding did not move the campaign key, but a shard holds different jobs")
+	}
+
+	// One shard of one is the whole grid, canonically unsharded.
+	whole := spec
+	whole.ShardIndex, whole.ShardCount = 0, 1
+	kwhole, err := whole.CampaignKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kwhole != k1 {
+		t.Error("shard 0/1 keys differently from the unsharded spec")
+	}
+}
+
+func TestCanonicalizeRejectsInvalid(t *testing.T) {
+	for _, tc := range []struct {
+		mutate func(*GridSpec)
+		want   string
+	}{
+		{func(s *GridSpec) { s.Op = "gather" }, "unknown op"},
+		{func(s *GridSpec) { s.Backends = []string{"mpi"} }, "unknown backend"},
+		{func(s *GridSpec) { s.Models = []string{"cubic"} }, "unknown model"},
+		{func(s *GridSpec) { s.Placements = []string{"diagonal"} }, "unknown policy"},
+		{func(s *GridSpec) { s.Dynamics = []string{"@oops"} }, "dynamics"},
+		{func(s *GridSpec) { s.RateTolerance = 1.5 }, "rate tolerance"},
+		{func(s *GridSpec) { s.ShardIndex = 3; s.ShardCount = 2 }, "out of range"},
+		{func(s *GridSpec) { s.Sizes = nil }, "size"},
+		{func(s *GridSpec) { s.Backends = nil }, "backend"},
+	} {
+		spec := shardSpec()
+		tc.mutate(&spec)
+		if _, err := spec.Canonicalize(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%+v: err = %v, want mention of %q", spec, err, tc.want)
+		}
+	}
+}

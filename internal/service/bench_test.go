@@ -1,0 +1,67 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"smpigo/internal/experiments"
+)
+
+// BenchmarkServiceThroughput is the in-process load test behind
+// BENCH_service.json: full POST /v1/campaigns?wait=1 round trips through the
+// Handler, measured with a cold cache (every request simulates) and a warm
+// one (every request is a fingerprint-keyed hit). The spread between the two
+// is the cache's value; the warm number is the service's pure serving
+// overhead (decode, canonicalize, key, encode).
+func BenchmarkServiceThroughput(b *testing.B) {
+	env, err := experiments.NewEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One surf pingpong job on the calibrated griffon cluster: the smallest
+	// real simulation, so the benchmark measures service overhead + one sim,
+	// not grid size.
+	body := `{"spec": {"op": "pingpong", "procs": [2], "sizes": [65536], "models": ["piecewise"], "backends": ["surf"]}, "seed": 31}`
+	post := func(h http.Handler) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/campaigns?wait=1", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+	run := func(b *testing.B, cacheSize int, wantHeader string) {
+		s, err := New(Config{Env: env, CacheSize: cacheSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		h := s.Handler()
+		// Prime: with a cache this populates the entry, without one it warms
+		// the platform/model caches both modes share.
+		if w := post(h); w.Code != http.StatusOK {
+			b.Fatalf("prime request: status %d, body %s", w.Code, w.Body.String())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := post(h)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d, body %s", w.Code, w.Body.String())
+			}
+			if got := w.Header().Get("X-Smpigod-Cache"); got != wantHeader {
+				b.Fatalf("cache header %q, want %q", got, wantHeader)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		var v campaignView
+		if err := json.Unmarshal(post(h).Body.Bytes(), &v); err != nil || v.Fingerprint == "" {
+			b.Fatalf("final response lost its fingerprint: %v", err)
+		}
+	}
+	// cold: caching disabled, every request runs the simulation end to end.
+	b.Run("cold", func(b *testing.B) { run(b, -1, "miss") })
+	// warm: every request is served from the result cache.
+	b.Run("warm", func(b *testing.B) { run(b, 0, "hit") })
+}

@@ -1,0 +1,54 @@
+package service
+
+import "container/list"
+
+// resultCache is a plain LRU over completed campaign records, keyed by
+// campaign fingerprint-input (experiments.GridSpec.CampaignKey). Only
+// successfully completed campaigns enter it — canceled or failed runs are
+// partial and must never satisfy a repeat query. The zero bound means
+// "don't cache".
+type resultCache struct {
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	rec *record
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached record for key and refreshes its recency.
+func (c *resultCache) get(key string) (*record, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).rec, true
+}
+
+// put inserts (or refreshes) a completed record, evicting the least
+// recently used entry beyond the bound.
+func (c *resultCache) put(key string, rec *record) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).rec = rec
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, rec: rec})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int { return c.order.Len() }

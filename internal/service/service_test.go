@@ -1,0 +1,403 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"smpigo/internal/campaign"
+	"smpigo/internal/experiments"
+)
+
+// testSpec is a cheap 4-job grid (2 sizes × 2 models, surf pingpong on the
+// calibrated griffon cluster) already in canonical axis order, so the batch
+// path runs the exact spec the service runs.
+func testSpec() experiments.GridSpec {
+	return experiments.GridSpec{
+		Op:       "pingpong",
+		Procs:    []int{2},
+		Sizes:    []int64{64 * 1024, 1024 * 1024},
+		Models:   []string{"bestfit", "piecewise"},
+		Backends: []string{"surf"},
+		Platform: "griffon",
+	}
+}
+
+func testEnv(t *testing.T) *experiments.Env {
+	t.Helper()
+	env, err := experiments.NewEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Env == nil {
+		cfg.Env = testEnv(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func doJSON(t *testing.T, h http.Handler, method, target string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = strings.NewReader(string(raw))
+	} else {
+		rd = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, target, rd)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decodeView(t *testing.T, w *httptest.ResponseRecorder) campaignView {
+	t.Helper()
+	var v campaignView
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("bad response %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+func submitBody(spec experiments.GridSpec, seed uint64) submitRequest {
+	return submitRequest{Spec: spec, Seed: seed}
+}
+
+// pollStatus waits for the campaign to reach one of the given states.
+func pollStatus(t *testing.T, h http.Handler, id string, want ...string) campaignView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v := decodeView(t, doJSON(t, h, "GET", "/v1/campaigns/"+id, nil))
+		for _, st := range want {
+			if v.Status == st {
+				return v
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck at %q, want one of %v", id, v.Status, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServedFingerprintMatchesBatch(t *testing.T) {
+	env := testEnv(t)
+	s := newTestServer(t, Config{Env: env})
+	h := s.Handler()
+
+	w := doJSON(t, h, "POST", "/v1/campaigns?wait=1", submitBody(testSpec(), 31))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Smpigod-Cache"); got != "miss" {
+		t.Errorf("first submission cache header %q, want miss", got)
+	}
+	v := decodeView(t, w)
+	if v.Status != statusDone || v.Jobs != 4 || v.Fingerprint == "" || v.Summary == nil {
+		t.Fatalf("unexpected view: %+v", v)
+	}
+
+	canonical, err := testSpec().Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(31)
+	sum, err := env.GridCampaignOpts(canonical, experiments.CampaignOptions{Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v.Fingerprint, sum.Fingerprint(); got != want {
+		t.Errorf("served fingerprint %s, batch fingerprint %s — the service must reproduce the batch path bit for bit", got, want)
+	}
+}
+
+func TestCacheHitCollapsesEquivalentSpecs(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	first := doJSON(t, h, "POST", "/v1/campaigns?wait=1", submitBody(testSpec(), 7))
+	if first.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", first.Code, first.Body.String())
+	}
+	fp := decodeView(t, first).Fingerprint
+
+	// The same grid spelled differently: scrambled case, reversed and
+	// duplicated axis values, default platform left implicit.
+	scrambled := experiments.GridSpec{
+		Op:       "PingPong",
+		Procs:    []int{2, 2},
+		Sizes:    []int64{1024 * 1024, 64 * 1024, 64 * 1024},
+		Models:   []string{"Piecewise", "BESTFIT"},
+		Backends: []string{"surf"},
+	}
+	second := doJSON(t, h, "POST", "/v1/campaigns?wait=1", submitBody(scrambled, 7))
+	if second.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", second.Code, second.Body.String())
+	}
+	if got := second.Header().Get("X-Smpigod-Cache"); got != "hit" {
+		t.Fatalf("equivalent respelled spec: cache header %q, want hit", got)
+	}
+	v := decodeView(t, second)
+	if !v.Cached || v.Fingerprint != fp {
+		t.Errorf("cached view = cached:%v fingerprint:%s, want cached:true fingerprint:%s", v.Cached, v.Fingerprint, fp)
+	}
+	if hits := s.Stats().CacheHits.Load(); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+
+	// A different seed is a different campaign: never served from the cache.
+	third := doJSON(t, h, "POST", "/v1/campaigns?wait=1", submitBody(testSpec(), 8))
+	if got := third.Header().Get("X-Smpigod-Cache"); got != "miss" {
+		t.Errorf("different seed: cache header %q, want miss", got)
+	}
+	if decodeView(t, third).Fingerprint == fp {
+		t.Error("different seed produced the same fingerprint")
+	}
+
+	stats := doJSON(t, h, "GET", "/v1/stats", nil)
+	var flat map[string]float64
+	if err := json.Unmarshal(stats.Body.Bytes(), &flat); err != nil {
+		t.Fatal(err)
+	}
+	if flat["service.cache.hits"] < 1 {
+		t.Errorf("stats endpoint reports %v cache hits, want >= 1", flat["service.cache.hits"])
+	}
+}
+
+func TestQueueBoundRejectsWith429(t *testing.T) {
+	s := newTestServer(t, Config{QueueDepth: 1})
+	block := make(chan struct{})
+	real := s.runGrid
+	s.runGrid = func(spec experiments.GridSpec, o experiments.CampaignOptions) (*campaign.Summary, error) {
+		<-block
+		return real(spec, o)
+	}
+	h := s.Handler()
+
+	// First campaign occupies the runner (blocked above), second fills the
+	// one-deep queue, third must bounce.
+	w1 := doJSON(t, h, "POST", "/v1/campaigns", submitBody(testSpec(), 1))
+	if w1.Code != http.StatusAccepted {
+		t.Fatalf("first submission: status %d, body %s", w1.Code, w1.Body.String())
+	}
+	id1 := decodeView(t, w1).ID
+	pollStatus(t, h, id1, statusRunning)
+
+	w2 := doJSON(t, h, "POST", "/v1/campaigns", submitBody(testSpec(), 2))
+	if w2.Code != http.StatusAccepted {
+		t.Fatalf("second submission: status %d, body %s", w2.Code, w2.Body.String())
+	}
+	id2 := decodeView(t, w2).ID
+
+	// An identical spec+seed coalesces onto the queued campaign instead of
+	// consuming queue space.
+	wc := doJSON(t, h, "POST", "/v1/campaigns", submitBody(testSpec(), 2))
+	if got := wc.Header().Get("X-Smpigod-Cache"); got != "coalesced" {
+		t.Errorf("duplicate in-flight submission: cache header %q, want coalesced", got)
+	}
+	if got := decodeView(t, wc).ID; got != id2 {
+		t.Errorf("coalesced submission returned id %s, want %s", got, id2)
+	}
+
+	w3 := doJSON(t, h, "POST", "/v1/campaigns", submitBody(testSpec(), 3))
+	if w3.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission: status %d, want 429 (body %s)", w3.Code, w3.Body.String())
+	}
+	if w3.Header().Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	if rej := s.Stats().Rejected.Load(); rej != 1 {
+		t.Errorf("rejected counter = %d, want 1", rej)
+	}
+
+	close(block)
+	pollStatus(t, h, id1, statusDone)
+	pollStatus(t, h, id2, statusDone)
+}
+
+func TestShardMergeViaAPI(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	full := decodeView(t, doJSON(t, h, "POST", "/v1/campaigns?wait=1", submitBody(testSpec(), 31)))
+	if full.Status != statusDone {
+		t.Fatalf("unsharded campaign: %+v", full)
+	}
+
+	ids := make([]string, 2)
+	jobs := 0
+	for i := range ids {
+		req := submitBody(testSpec(), 31)
+		req.Shard = fmt.Sprintf("%d/2", i)
+		v := decodeView(t, doJSON(t, h, "POST", "/v1/campaigns?wait=1", req))
+		if v.Status != statusDone {
+			t.Fatalf("shard %d/2: %+v", i, v)
+		}
+		if v.Fingerprint == full.Fingerprint {
+			t.Fatalf("shard %d/2 has the unsharded fingerprint; sharding did nothing", i)
+		}
+		ids[i] = v.ID
+		jobs += v.Jobs
+	}
+	if jobs != full.Jobs {
+		t.Fatalf("shards hold %d jobs, want %d", jobs, full.Jobs)
+	}
+
+	merged := doJSON(t, h, "POST", "/v1/campaigns/merge", mergeRequest{IDs: ids})
+	if merged.Code != http.StatusOK {
+		t.Fatalf("merge: status %d, body %s", merged.Code, merged.Body.String())
+	}
+	var mv mergeView
+	if err := json.Unmarshal(merged.Body.Bytes(), &mv); err != nil {
+		t.Fatal(err)
+	}
+	if mv.Fingerprint != full.Fingerprint {
+		t.Errorf("merged shard fingerprint %s, want unsharded %s", mv.Fingerprint, full.Fingerprint)
+	}
+
+	if w := doJSON(t, h, "POST", "/v1/campaigns/merge", mergeRequest{IDs: []string{"nope"}}); w.Code != http.StatusNotFound {
+		t.Errorf("merge of unknown id: status %d, want 404", w.Code)
+	}
+	// Merging the same shard twice overlaps job ids — a merge-layer conflict.
+	if w := doJSON(t, h, "POST", "/v1/campaigns/merge", mergeRequest{IDs: []string{ids[0], ids[0]}}); w.Code != http.StatusConflict {
+		t.Errorf("merge with duplicate shard: status %d, want 409", w.Code)
+	}
+}
+
+func TestStreamNDJSON(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	w := doJSON(t, h, "POST", "/v1/campaigns?stream=ndjson", submitBody(testSpec(), 5))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q, want application/x-ndjson", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d NDJSON lines, want 4 job results + 1 summary:\n%s", len(lines), w.Body.String())
+	}
+	seen := make(map[int]bool)
+	for _, line := range lines[:4] {
+		var sr streamedResult
+		if err := json.Unmarshal([]byte(line), &sr); err != nil {
+			t.Fatalf("bad job line %q: %v", line, err)
+		}
+		if seen[sr.I] {
+			t.Errorf("job index %d streamed twice", sr.I)
+		}
+		seen[sr.I] = true
+		if sr.Result.Err != nil || sr.Result.Error != "" {
+			t.Errorf("job %d failed: %v %s", sr.I, sr.Result.Err, sr.Result.Error)
+		}
+	}
+	var final campaignView
+	if err := json.Unmarshal([]byte(lines[4]), &final); err != nil {
+		t.Fatalf("bad final line %q: %v", lines[4], err)
+	}
+	if final.Status != statusDone || final.Fingerprint == "" {
+		t.Errorf("final stream line: %+v", final)
+	}
+}
+
+func TestCancelEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	block := make(chan struct{})
+	t.Cleanup(func() { close(block) })
+	s.runGrid = func(spec experiments.GridSpec, o experiments.CampaignOptions) (*campaign.Summary, error) {
+		select {
+		case <-block:
+		case <-o.Ctx.Done():
+		}
+		return &campaign.Summary{Seed: *o.Seed, Canceled: true}, nil
+	}
+	h := s.Handler()
+
+	id := decodeView(t, doJSON(t, h, "POST", "/v1/campaigns", submitBody(testSpec(), 9))).ID
+	pollStatus(t, h, id, statusRunning)
+	if w := doJSON(t, h, "DELETE", "/v1/campaigns/"+id, nil); w.Code != http.StatusAccepted {
+		t.Fatalf("cancel: status %d, body %s", w.Code, w.Body.String())
+	}
+	v := pollStatus(t, h, id, statusCanceled)
+	if v.Error == "" {
+		t.Error("canceled campaign reports no error cause")
+	}
+	if got := s.Stats().Canceled.Load(); got != 1 {
+		t.Errorf("canceled counter = %d, want 1", got)
+	}
+	// Canceled campaigns must never satisfy a repeat query from the cache.
+	if w := doJSON(t, h, "POST", "/v1/campaigns", submitBody(testSpec(), 9)); w.Header().Get("X-Smpigod-Cache") == "hit" {
+		t.Error("repeat of a canceled campaign was served from the cache")
+	}
+
+	if w := doJSON(t, h, "DELETE", "/v1/campaigns/zzz", nil); w.Code != http.StatusNotFound {
+		t.Errorf("cancel unknown id: status %d, want 404", w.Code)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ``},
+		{"unknown field", `{"spec": {"op": "pingpong", "procs": [2], "sizes": [64]}, "sed": 1}`},
+		{"bad op", `{"spec": {"op": "gossip", "procs": [2], "sizes": [64]}, "seed": 1}`},
+		{"bad shard", `{"spec": {"op": "pingpong", "procs": [2], "sizes": [64]}, "seed": 1, "shard": "2"}`},
+		{"shard out of range", `{"spec": {"op": "pingpong", "procs": [2], "sizes": [64]}, "seed": 1, "shard": "3/2"}`},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest("POST", "/v1/campaigns", strings.NewReader(tc.body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, w.Code, w.Body.String())
+		}
+	}
+	if w := doJSON(t, h, "GET", "/v1/campaigns/zzz", nil); w.Code != http.StatusNotFound {
+		t.Errorf("get unknown id: status %d, want 404", w.Code)
+	}
+	if w := doJSON(t, h, "GET", "/healthz", nil); w.Code != http.StatusOK {
+		t.Errorf("healthz: status %d, want 200", w.Code)
+	}
+}
+
+func TestListCampaigns(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	doJSON(t, h, "POST", "/v1/campaigns?wait=1", submitBody(testSpec(), 41))
+	doJSON(t, h, "POST", "/v1/campaigns?wait=1", submitBody(testSpec(), 42))
+	w := doJSON(t, h, "GET", "/v1/campaigns", nil)
+	var views []campaignView
+	if err := json.Unmarshal(w.Body.Bytes(), &views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 {
+		t.Fatalf("listed %d campaigns, want 2", len(views))
+	}
+	if views[0].ID != "c1" || views[1].ID != "c2" {
+		t.Errorf("list order %s, %s; want c1, c2", views[0].ID, views[1].ID)
+	}
+}
